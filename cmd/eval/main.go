@@ -1,0 +1,129 @@
+// Command eval regenerates the paper's tables and figures against the
+// synthetic workload. Each experiment prints an aligned table plus a TSV
+// block suitable for plotting.
+//
+// Usage:
+//
+//	eval [-scale small|medium|large] [-out dir] [experiment ...]
+//
+// Experiments: table3, fig3, fig5, fig7a, fig7b, fig8, fig9, overhead, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/pisa"
+	"repro/internal/queries"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "medium", "workload scale: small, medium, or large")
+	outDir := flag.String("out", "", "directory for TSV outputs (optional)")
+	flag.Parse()
+
+	var scale eval.Scale
+	switch *scaleFlag {
+	case "small":
+		scale = eval.SmallScale()
+	case "medium":
+		scale = eval.MediumScale()
+	case "large":
+		scale = eval.LargeScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	experiments := flag.Args()
+	if len(experiments) == 0 || (len(experiments) == 1 && experiments[0] == "all") {
+		experiments = []string{"table3", "fig3", "fig5", "fig7a", "fig7b", "fig8", "fig9", "overhead"}
+	}
+
+	emit := func(t *eval.Table) {
+		fmt.Println(t.Render())
+		if *outDir != "" {
+			path := filepath.Join(*outDir, t.ID+".tsv")
+			if err := os.WriteFile(path, []byte(t.TSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+			}
+		}
+	}
+
+	var w *eval.Workload
+	workload := func() *eval.Workload {
+		if w == nil {
+			var err error
+			w, err = eval.NewWorkload(scale)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		return w
+	}
+	cfg := pisa.DefaultConfig()
+
+	for _, exp := range experiments {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "[eval] running %s at %s scale...\n", exp, *scaleFlag)
+		switch exp {
+		case "table3":
+			emit(eval.Table3(queries.DefaultParams(), []int{8, 16, 24}))
+		case "fig3":
+			emit(eval.Fig3())
+		case "fig5":
+			t, err := eval.Fig5(workload(), 0)
+			if err != nil {
+				fatal(err)
+			}
+			emit(t)
+		case "fig7a":
+			t, err := eval.Fig7a(workload(), cfg)
+			if err != nil {
+				fatal(err)
+			}
+			emit(t)
+		case "fig7b":
+			t, err := eval.Fig7b(workload(), cfg)
+			if err != nil {
+				fatal(err)
+			}
+			emit(t)
+		case "fig8":
+			tabs, err := eval.Fig8(workload(), cfg)
+			if err != nil {
+				fatal(err)
+			}
+			for _, id := range []string{"fig8a", "fig8b", "fig8c", "fig8d"} {
+				emit(tabs[id])
+			}
+		case "fig9":
+			res, err := eval.CaseStudy(scale)
+			if err != nil {
+				fatal(err)
+			}
+			emit(res.Table)
+			fmt.Printf("victim identified in window %d; attack confirmed in window %d\n\n",
+				res.VictimIdentifiedWindow, res.AttackConfirmedWindow)
+		case "overhead":
+			t, err := eval.Overhead(workload(), cfg)
+			if err != nil {
+				fatal(err)
+			}
+			emit(t)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "[eval] %s done in %v\n", exp, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,189 @@
+// Command sonata runs a set of telemetry queries end-to-end over a packet
+// trace: it trains the planner on the first windows, partitions and refines
+// the queries across the switch simulator and the stream engine, then
+// replays the remaining windows and prints per-window results.
+//
+// Usage:
+//
+//	sonata [-pcap trace.pcap | -synth] [-queries q1,q2,...] [-mode sonata]
+//	       [-window 3s] [-train 2] [-pkts 100000] [-windows 6] [-v]
+//
+// Query names follow internal/queries (e.g. newly_opened_tcp_conns,
+// superspreader). The default runs the eight header-field queries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/packet"
+	"repro/internal/pisa"
+	"repro/internal/planner"
+	"repro/internal/queries"
+	"repro/internal/query"
+	"repro/internal/trace"
+	"repro/internal/tuple"
+)
+
+func main() {
+	pcapPath := flag.String("pcap", "", "replay this pcap file instead of synthesizing traffic")
+	queryList := flag.String("queries", "", "comma-separated query names (default: the eight header queries)")
+	modeName := flag.String("mode", "sonata", "plan mode: sonata, all-sp, filter-dp, max-dp, fix-ref")
+	window := flag.Duration("window", 3*time.Second, "query window W")
+	trainWindows := flag.Int("train", 2, "training windows")
+	pkts := flag.Int("pkts", 100_000, "synthetic packets per window")
+	nWindows := flag.Int("windows", 6, "synthetic windows")
+	verbose := flag.Bool("v", false, "print every result tuple")
+	flag.Parse()
+
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Assemble the packet source.
+	var windows [][][]byte
+	if *pcapPath != "" {
+		f, err := os.Open(*pcapPath)
+		if err != nil {
+			fatal(err)
+		}
+		recs, err := trace.ReadPcap(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		total := time.Duration(0)
+		if len(recs) > 0 {
+			total = recs[len(recs)-1].TS + 1
+		}
+		for _, win := range trace.Slice(recs, *window, total) {
+			var frames [][]byte
+			for _, r := range win.Records {
+				frames = append(frames, r.Data)
+			}
+			windows = append(windows, frames)
+		}
+	} else {
+		scale := eval.Scale{PacketsPerWindow: *pkts, Windows: *nWindows,
+			TrainWindows: *trainWindows, Hosts: 6000, Seed: 1}
+		w, err := eval.NewWorkload(scale)
+		if err != nil {
+			fatal(err)
+		}
+		for i := 0; i < w.Gen.Windows(); i++ {
+			windows = append(windows, w.Frames(i))
+		}
+	}
+	if len(windows) <= *trainWindows {
+		fatal(fmt.Errorf("trace has %d windows; need more than the %d training windows", len(windows), *trainWindows))
+	}
+
+	// Resolve queries.
+	params := eval.ScaledParams(eval.Scale{PacketsPerWindow: *pkts})
+	params.Window = *window
+	var qs []*query.Query
+	if *queryList == "" {
+		qs = queries.TopEight(params)
+	} else {
+		for _, name := range strings.Split(*queryList, ",") {
+			q, err := queries.ByName(params, strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			qs = append(qs, q)
+		}
+	}
+
+	// Train, plan, deploy.
+	plannerOpts := planner.DefaultOptions()
+	plannerOpts.Mode = mode
+	s := core.New(core.Config{Planner: plannerOpts, Window: *window, Switch: pisa.DefaultConfig()})
+	for _, q := range qs {
+		q.ID = 0 // renumber in registration order
+		s.Register(q)
+	}
+	var train []planner.Frames
+	for i := 0; i < *trainWindows; i++ {
+		train = append(train, planner.Frames(windows[i]))
+	}
+	fmt.Fprintf(os.Stderr, "[sonata] training %d queries on %d windows...\n", len(qs), *trainWindows)
+	if err := s.Train(train); err != nil {
+		fatal(err)
+	}
+	rt, err := s.Deploy()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "[sonata] plan:")
+	for _, line := range rt.EntrySummary() {
+		fmt.Fprintln(os.Stderr, "  ", line)
+	}
+
+	names := map[uint16]string{}
+	for _, q := range s.Queries() {
+		names[q.ID] = q.Name
+	}
+
+	// Replay.
+	for wi := *trainWindows; wi < len(windows); wi++ {
+		rep := rt.ProcessWindow(windows[wi])
+		fmt.Printf("window %d: %d packets at switch, %d tuples to stream processor, %d collisions\n",
+			wi, rep.Switch.PacketsIn, rep.TuplesToSP, rep.Switch.Collisions)
+		for _, res := range rep.Results {
+			if len(res.Tuples) == 0 {
+				continue
+			}
+			fmt.Printf("  %s (%d result(s))\n", names[res.QID], len(res.Tuples))
+			if *verbose {
+				for _, t := range res.Tuples {
+					fmt.Printf("    %s\n", renderTuple(res.Schema, t))
+				}
+			}
+		}
+	}
+	fmt.Printf("cumulative collision rate: %.4f%%\n", rt.CollisionRate()*100)
+}
+
+func renderTuple(schema tuple.Schema, t []tuple.Value) string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		name := "?"
+		if i < len(schema) {
+			name = schema[i].String()
+		}
+		if !v.Str && i < len(schema) && strings.Contains(name, "IP") {
+			parts[i] = fmt.Sprintf("%s=%s", name, packet.IPv4String(uint32(v.U)))
+		} else {
+			parts[i] = fmt.Sprintf("%s=%s", name, v.String())
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func parseMode(s string) (planner.Mode, error) {
+	switch strings.ToLower(s) {
+	case "sonata":
+		return planner.ModeSonata, nil
+	case "all-sp", "allsp":
+		return planner.ModeAllSP, nil
+	case "filter-dp", "filterdp":
+		return planner.ModeFilterDP, nil
+	case "max-dp", "maxdp":
+		return planner.ModeMaxDP, nil
+	case "fix-ref", "fixref":
+		return planner.ModeFixRef, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sonata:", err)
+	os.Exit(1)
+}

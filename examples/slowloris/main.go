@@ -1,0 +1,87 @@
+// Slowloris: a join query partitioned across switch and stream processor.
+//
+// The Slowloris query (Query 2 of the paper) joins two sub-queries — the
+// connection count and the byte volume per host — and divides them at the
+// stream processor, because no PISA switch can divide. This example shows
+// the planner cutting each sub-query independently and the runtime joining
+// their outputs.
+//
+//	go run ./examples/slowloris
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/planner"
+	"repro/internal/queries"
+	"repro/internal/trace"
+)
+
+func main() {
+	cfg := trace.DefaultConfig()
+	cfg.PacketsPerWindow = 20_000
+	cfg.Windows = 6
+	gen, err := trace.NewGenerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim := trace.StandardVictim
+	gen.AddAttack(trace.NewSlowloris(victim, 1_200, 0, gen.Duration()))
+
+	p := queries.DefaultParams()
+	p.SlowlorisBytesThresh = 20_000
+	p.SlowlorisRatioThresh = 8
+	q := queries.SlowlorisAttacks(p)
+	fmt.Println("query (note the join and the division, both stream-processor-only):")
+	fmt.Println(q)
+
+	s := core.New(core.Config{})
+	s.Register(q)
+	var train []planner.Frames
+	for i := 0; i < 2; i++ {
+		train = append(train, frames(gen, i))
+	}
+	if err := s.Train(train); err != nil {
+		log.Fatal(err)
+	}
+	plan, err := s.Plan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, qp := range plan.Queries {
+		for _, lp := range qp.Levels {
+			fmt.Printf("level /%d: left sub-query cut after %d/%d tables; right after %d/%d\n",
+				lp.Level, lp.Left.Cut, len(lp.Left.Pipe.Tables),
+				lp.Right.Cut, len(lp.Right.Pipe.Tables))
+		}
+	}
+
+	rt, err := s.Deploy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for w := 2; w < gen.Windows(); w++ {
+		rep := rt.ProcessWindow(frames(gen, w))
+		fmt.Printf("window %d: %d tuples to SP;", w, rep.TuplesToSP)
+		for _, res := range rep.Results {
+			for _, t := range res.Tuples {
+				fmt.Printf(" ALERT %s conns-per-kilobyte=%d",
+					packet.IPv4String(uint32(t[0].U)), t[1].U)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("expected victim: %s\n", packet.IPv4String(victim))
+}
+
+func frames(g *trace.Generator, i int) [][]byte {
+	win := g.WindowRecords(i)
+	out := make([][]byte, len(win.Records))
+	for j, r := range win.Records {
+		out[j] = r.Data
+	}
+	return out
+}

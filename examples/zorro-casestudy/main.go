@@ -1,0 +1,38 @@
+// Zorro case study: the end-to-end hardware scenario of Figure 9.
+//
+// An attacker starts brute-forcing telnet logins against one IoT device
+// mid-trace. Sonata's refinement zooms in on the victim from coarse IP
+// prefixes while reporting only a handful of tuples; once the attacker
+// gains shell access and issues the "zorro" command, the payload condition
+// fires and the attack is confirmed.
+//
+//	go run ./examples/zorro-casestudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/eval"
+	"repro/internal/packet"
+)
+
+func main() {
+	scale := eval.Scale{
+		PacketsPerWindow: 20_000,
+		Windows:          6,
+		TrainWindows:     2,
+		Hosts:            2_000,
+		Seed:             7,
+	}
+	res, err := eval.CaseStudy(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Table.Render())
+	fmt.Printf("victim %s identified in window %d, attack confirmed in window %d\n",
+		packet.IPv4String(res.Victim), res.VictimIdentifiedWindow, res.AttackConfirmedWindow)
+	fmt.Println("\ncompare with the paper's Figure 9: the switch receives ~10^4 packets per")
+	fmt.Println("window while only a handful of tuples reach the stream processor, and the")
+	fmt.Println("victim is pinpointed before the keyword ever appears.")
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fields"
+	"repro/internal/planner"
+	"repro/internal/query"
+	"repro/internal/trace"
+)
+
+// TestAdaptiveReplanOnTrafficGrowth reproduces the Section 3.3 scenario:
+// the planner sizes registers from training traffic; live traffic then
+// grows well past the estimate, registers overflow, the collision signal
+// fires, and a re-plan with recent windows restores a low collision rate.
+func TestAdaptiveReplanOnTrafficGrowth(t *testing.T) {
+	// Training trace: light traffic.
+	light := trace.DefaultConfig()
+	light.PacketsPerWindow = 1_500
+	light.Windows = 2
+	light.Hosts = 3_000
+	lightGen, err := trace.NewGenerator(light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Live trace: the same shape at 10x the volume (and so ~10x the unique
+	// keys for the distinct-based query).
+	heavy := light
+	heavy.PacketsPerWindow = 15_000
+	heavy.Windows = 6
+	heavy.Seed = 2
+	heavyGen, err := trace.NewGenerator(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Superspreader counts distinct (sIP, dIP) pairs: its key population
+	// scales with traffic volume, which is what breaks the trained sizing.
+	q := query.NewBuilder("superspreader", 3*time.Second).
+		Map(query.F(fields.SrcIP), query.F(fields.DstIP)).
+		Distinct().
+		Map(query.C(fields.SrcIP), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.SrcIP).
+		Filter(query.Gt(fields.AggVal, 5_000)).
+		MustBuild()
+
+	s := New(Config{})
+	s.Register(q)
+	var train []planner.Frames
+	for i := 0; i < 2; i++ {
+		train = append(train, frames(lightGen, i))
+	}
+	if err := s.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	ar, err := s.DeployAdaptive(0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sawReplan bool
+	var collisionsBefore, collisionsAfter uint64
+	for w := 0; w < heavyGen.Windows(); w++ {
+		rep, replanned, err := ar.ProcessWindow(frames(heavyGen, w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sawReplan {
+			// Windows up to and including the one that fired the signal.
+			collisionsBefore += rep.Switch.Collisions
+		} else {
+			collisionsAfter += rep.Switch.Collisions
+		}
+		if replanned {
+			sawReplan = true
+		}
+	}
+	if !sawReplan {
+		t.Fatalf("collision signal never triggered a re-plan (before=%d)", collisionsBefore)
+	}
+	if collisionsBefore == 0 {
+		t.Fatal("expected collisions before the re-plan")
+	}
+	if collisionsAfter*10 > collisionsBefore {
+		t.Errorf("re-plan did not restore low collisions: before=%d after=%d",
+			collisionsBefore, collisionsAfter)
+	}
+	if ar.Replans() == 0 {
+		t.Error("replan counter did not advance")
+	}
+}
+
+func frames(g *trace.Generator, i int) [][]byte {
+	w := g.WindowRecords(i)
+	out := make([][]byte, len(w.Records))
+	for j, r := range w.Records {
+		out[j] = r.Data
+	}
+	return out
+}

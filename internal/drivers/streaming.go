@@ -1,0 +1,40 @@
+package drivers
+
+import (
+	"fmt"
+
+	"repro/internal/planner"
+	"repro/internal/stream"
+)
+
+// StreamingDriver installs a planner's output into a stream engine — the
+// role of the paper's Spark Streaming driver: translate the partitioned,
+// refined queries into the target's native jobs.
+type StreamingDriver struct {
+	engine *stream.Engine
+}
+
+// NewStreamingDriver wraps an engine.
+func NewStreamingDriver(engine *stream.Engine) *StreamingDriver {
+	return &StreamingDriver{engine: engine}
+}
+
+// InstallPlan installs every (query, level) instance of the plan with its
+// partition points.
+func (d *StreamingDriver) InstallPlan(plan *planner.Plan) error {
+	for _, qp := range plan.Queries {
+		for _, lp := range qp.Levels {
+			part := stream.Partition{LeftStart: lp.Left.Pipe.EntryFor(lp.Left.Cut).StartOp}
+			if lp.Right != nil {
+				part.RightStart = lp.Right.Pipe.EntryFor(lp.Right.Cut).StartOp
+			}
+			if err := d.engine.Install(lp.Aug, uint8(lp.Level), part); err != nil {
+				return fmt.Errorf("drivers: installing q%d level %d: %w", qp.Query.ID, lp.Level, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Engine exposes the wrapped engine.
+func (d *StreamingDriver) Engine() *stream.Engine { return d.engine }

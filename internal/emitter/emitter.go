@@ -1,0 +1,229 @@
+// Package emitter implements Sonata's emitter (Section 5): it consumes the
+// packets mirrored out of the switch's monitoring port, parses the
+// query-specific fields embedded by the data plane (demultiplexing on the
+// query identifier), and delivers the resulting tuples to the stream
+// processor. At window boundaries it converts the switch's register dumps
+// into pre-aggregated tuples the engine merges with any collision-overflow
+// traffic it absorbed during the window.
+//
+// Mirrored records cross the monitoring port as real bytes in a compact
+// telemetry framing (a qid-tagged header, the metadata tuple, and
+// optionally the original frame), so the encode/decode path the paper's
+// Scapy-based emitter performs is exercised rather than bypassed.
+package emitter
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/pisa"
+	"repro/internal/stream"
+	"repro/internal/tuple"
+)
+
+// wire format constants.
+const (
+	magic = 0x53 // 'S'
+
+	flagOverflow = 1 << 0
+	flagVals     = 1 << 1
+	flagPacket   = 1 << 2
+)
+
+// EncodeMirror serializes a mirror record into the telemetry framing,
+// appending to dst.
+func EncodeMirror(dst []byte, m *pisa.Mirror) []byte {
+	dst = append(dst, magic)
+	dst = binary.BigEndian.AppendUint16(dst, m.QID)
+	dst = append(dst, m.Level, byte(m.Side))
+	var flags byte
+	if m.Overflow {
+		flags |= flagOverflow
+	}
+	if m.Vals != nil {
+		flags |= flagVals
+	}
+	if m.Packet != nil {
+		flags |= flagPacket
+	}
+	dst = append(dst, flags, byte(m.EntryOp), byte(m.MergeOp))
+	if m.Vals != nil {
+		dst = append(dst, byte(len(m.Vals)))
+		dst = appendVals(dst, m.Vals)
+	}
+	if m.Packet != nil {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Packet)))
+		dst = append(dst, m.Packet...)
+	}
+	return dst
+}
+
+// DecodeMirror parses a telemetry frame back into a mirror record. The
+// returned record's Packet aliases data.
+func DecodeMirror(data []byte) (pisa.Mirror, error) {
+	var m pisa.Mirror
+	if len(data) < 8 || data[0] != magic {
+		return m, fmt.Errorf("emitter: bad telemetry frame header")
+	}
+	m.QID = binary.BigEndian.Uint16(data[1:3])
+	m.Level = data[3]
+	m.Side = pisa.Side(data[4])
+	flags := data[5]
+	m.Overflow = flags&flagOverflow != 0
+	m.EntryOp = int(data[6])
+	m.MergeOp = int(data[7])
+	rest := data[8:]
+	var err error
+	if flags&flagVals != 0 {
+		if len(rest) < 1 {
+			return m, fmt.Errorf("emitter: truncated tuple count")
+		}
+		n := int(rest[0])
+		rest = rest[1:]
+		m.Vals, rest, err = decodeVals(rest, n)
+		if err != nil {
+			return m, err
+		}
+	}
+	if flags&flagPacket != 0 {
+		if len(rest) < 2 {
+			return m, fmt.Errorf("emitter: truncated packet length")
+		}
+		n := int(binary.BigEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+		if len(rest) < n {
+			return m, fmt.Errorf("emitter: truncated packet body (%d < %d)", len(rest), n)
+		}
+		m.Packet = rest[:n]
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return m, fmt.Errorf("emitter: %d trailing bytes", len(rest))
+	}
+	return m, nil
+}
+
+func appendVals(dst []byte, vals []tuple.Value) []byte {
+	for _, v := range vals {
+		if v.Str {
+			dst = append(dst, 's')
+			dst = binary.BigEndian.AppendUint16(dst, uint16(len(v.S)))
+			dst = append(dst, v.S...)
+		} else {
+			dst = append(dst, 'u')
+			dst = binary.BigEndian.AppendUint64(dst, v.U)
+		}
+	}
+	return dst
+}
+
+func decodeVals(data []byte, n int) ([]tuple.Value, []byte, error) {
+	vals := make([]tuple.Value, 0, n)
+	for i := 0; i < n; i++ {
+		if len(data) < 1 {
+			return nil, nil, fmt.Errorf("emitter: truncated value %d", i)
+		}
+		switch data[0] {
+		case 'u':
+			if len(data) < 9 {
+				return nil, nil, fmt.Errorf("emitter: truncated numeric value")
+			}
+			vals = append(vals, tuple.U64(binary.BigEndian.Uint64(data[1:9])))
+			data = data[9:]
+		case 's':
+			if len(data) < 3 {
+				return nil, nil, fmt.Errorf("emitter: truncated string header")
+			}
+			l := int(binary.BigEndian.Uint16(data[1:3]))
+			if len(data) < 3+l {
+				return nil, nil, fmt.Errorf("emitter: truncated string body")
+			}
+			vals = append(vals, tuple.Str(string(data[3:3+l])))
+			data = data[3+l:]
+		default:
+			return nil, nil, fmt.Errorf("emitter: bad value tag %q", data[0])
+		}
+	}
+	return vals, data, nil
+}
+
+// Emitter bridges the switch's monitoring port to the stream engine.
+type Emitter struct {
+	engine *stream.Engine
+	parser *packet.Parser
+	pkt    packet.Packet
+	buf    []byte
+	// Stats for the window.
+	frames   uint64
+	badFrame uint64
+}
+
+// New returns an emitter delivering into engine. The emitter enables deep
+// parsing (DNS) because stream-processor portions of queries may reference
+// fields the switch cannot extract.
+func New(engine *stream.Engine) *Emitter {
+	return &Emitter{engine: engine,
+		parser: packet.NewParser(packet.ParserOptions{DecodeDNS: true})}
+}
+
+// HandleMirror is wired as the switch's mirror callback: it performs the
+// encode/parse round trip the monitoring port implies and forwards the
+// tuple (or packet) to the engine.
+func (e *Emitter) HandleMirror(m pisa.Mirror) {
+	e.buf = EncodeMirror(e.buf[:0], &m)
+	e.frames++
+	dec, err := DecodeMirror(e.buf)
+	if err != nil {
+		e.badFrame++
+		return
+	}
+	e.Deliver(&dec)
+}
+
+// Deliver routes a decoded mirror record into the engine.
+func (e *Emitter) Deliver(m *pisa.Mirror) {
+	side := stream.SideLeft
+	if m.Side == pisa.SideRight {
+		side = stream.SideRight
+	}
+	switch {
+	case m.Overflow:
+		// The switch could not store this key: the stream processor
+		// executes the stateful operator itself on the shunted input tuple.
+		e.engine.IngestTupleAt(m.QID, m.Level, side, m.MergeOp, m.Vals)
+	case m.Vals != nil:
+		e.engine.IngestTuple(m.QID, m.Level, side, m.Vals)
+	case m.Packet != nil:
+		if err := e.parser.Parse(m.Packet, &e.pkt); err != nil {
+			e.badFrame++
+			return
+		}
+		if side == stream.SideRight {
+			e.engine.IngestRightPacket(m.QID, m.Level, &e.pkt)
+		} else {
+			e.engine.IngestPacket(m.QID, m.Level, &e.pkt)
+		}
+	}
+}
+
+// HandleDumps converts the end-of-window register dumps into pre-aggregated
+// tuples merged into the engine's stateful operators — the emitter's "read
+// the aggregated value for each key" role from Section 5.
+func (e *Emitter) HandleDumps(dumps []pisa.RegDump) {
+	for i := range dumps {
+		d := &dumps[i]
+		side := stream.SideLeft
+		if d.Side == pisa.SideRight {
+			side = stream.SideRight
+		}
+		e.engine.IngestAgg(d.QID, d.Level, side, d.MergeOp, d.KeyVals, d.Val)
+	}
+}
+
+// WindowStats reports and resets the emitter's per-window counters.
+func (e *Emitter) WindowStats() (frames, malformed uint64) {
+	frames, malformed = e.frames, e.badFrame
+	e.frames, e.badFrame = 0, 0
+	return frames, malformed
+}

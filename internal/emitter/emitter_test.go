@@ -1,0 +1,164 @@
+package emitter
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/fields"
+	"repro/internal/packet"
+	"repro/internal/pisa"
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/tuple"
+)
+
+func TestMirrorRoundTrip(t *testing.T) {
+	cases := []pisa.Mirror{
+		{QID: 1, Level: 32, EntryOp: 2, Vals: []tuple.Value{tuple.U64(42), tuple.U64(1)}},
+		{QID: 9, Level: 8, Side: pisa.SideRight, EntryOp: 0, Packet: []byte{1, 2, 3}},
+		{QID: 3, Overflow: true, MergeOp: 4, Vals: []tuple.Value{tuple.Str("example.com"), tuple.U64(7)}},
+		{QID: 2, Vals: []tuple.Value{tuple.Str("")}, Packet: []byte{}},
+	}
+	for i, m := range cases {
+		wire := EncodeMirror(nil, &m)
+		got, err := DecodeMirror(wire)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		// Normalize empty-but-non-nil slices for comparison.
+		if len(got.Packet) == 0 && len(m.Packet) == 0 {
+			got.Packet, m.Packet = nil, nil
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("case %d: got %+v want %+v", i, got, m)
+		}
+	}
+}
+
+func TestMirrorRoundTripProperty(t *testing.T) {
+	f := func(qid uint16, level uint8, overflow bool, u uint64, s string, pkt []byte) bool {
+		if len(s) > 1000 || len(pkt) > 2000 {
+			return true
+		}
+		m := pisa.Mirror{QID: qid, Level: level, Overflow: overflow,
+			EntryOp: int(level % 8), MergeOp: int(level % 4),
+			Vals: []tuple.Value{tuple.U64(u), tuple.Str(s)}}
+		if len(pkt) > 0 {
+			m.Packet = pkt
+		}
+		got, err := DecodeMirror(EncodeMirror(nil, &m))
+		if err != nil {
+			return false
+		}
+		if got.QID != m.QID || got.Level != m.Level || got.Overflow != m.Overflow {
+			return false
+		}
+		if !got.Vals[0].Equal(m.Vals[0]) || !got.Vals[1].Equal(m.Vals[1]) {
+			return false
+		}
+		return string(got.Packet) == string(m.Packet)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeMirrorRejectsMalformed(t *testing.T) {
+	m := pisa.Mirror{QID: 1, Vals: []tuple.Value{tuple.U64(5)}, Packet: []byte{9, 9}}
+	wire := EncodeMirror(nil, &m)
+	for cut := 0; cut < len(wire); cut++ {
+		if _, err := DecodeMirror(wire[:cut]); err == nil {
+			t.Errorf("accepted %d-byte truncation", cut)
+		}
+	}
+	// Bad magic.
+	bad := append([]byte(nil), wire...)
+	bad[0] = 0xFF
+	if _, err := DecodeMirror(bad); err == nil {
+		t.Error("accepted bad magic")
+	}
+	// Trailing garbage.
+	if _, err := DecodeMirror(append(wire, 0)); err == nil {
+		t.Error("accepted trailing bytes")
+	}
+}
+
+func engineWithQ1(t *testing.T) (*stream.Engine, *Emitter) {
+	t.Helper()
+	q := query.NewBuilder("q1", time.Second).
+		Filter(query.Eq(fields.TCPFlags, fields.FlagSYN)).
+		Map(query.F(fields.DstIP), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.DstIP).
+		Filter(query.Gt(fields.AggVal, 2)).
+		MustBuild()
+	q.ID = 1
+	e := stream.NewEngine(nil)
+	if err := e.Install(q, 0, stream.Partition{LeftStart: 2}); err != nil {
+		t.Fatal(err)
+	}
+	return e, New(e)
+}
+
+func TestHandleMirrorDeliversTuples(t *testing.T) {
+	engine, em := engineWithQ1(t)
+	for i := 0; i < 4; i++ {
+		em.HandleMirror(pisa.Mirror{QID: 1, EntryOp: 2,
+			Vals: []tuple.Value{tuple.U64(7), tuple.U64(1)}})
+	}
+	results, m := engine.EndWindow()
+	if m.TuplesIn != 4 {
+		t.Errorf("TuplesIn = %d", m.TuplesIn)
+	}
+	if len(results[0].Tuples) != 1 || results[0].Tuples[0][1].U != 4 {
+		t.Fatalf("results = %+v", results[0].Tuples)
+	}
+	frames, malformed := em.WindowStats()
+	if frames != 4 || malformed != 0 {
+		t.Errorf("emitter stats = %d/%d", frames, malformed)
+	}
+}
+
+func TestHandleMirrorPacketPath(t *testing.T) {
+	q := query.NewBuilder("q1", time.Second).
+		Filter(query.Eq(fields.TCPFlags, fields.FlagSYN)).
+		Map(query.F(fields.DstIP), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.DstIP).
+		MustBuild()
+	q.ID = 1
+	engine := stream.NewEngine(nil)
+	if err := engine.Install(q, 0, stream.Partition{}); err != nil {
+		t.Fatal(err)
+	}
+	em := New(engine)
+	frame := packet.BuildFrame(nil, &packet.FrameSpec{
+		SrcIP: 1, DstIP: 99, Proto: 6, TCPFlags: fields.FlagSYN, Pad: 60})
+	em.HandleMirror(pisa.Mirror{QID: 1, EntryOp: 0, Packet: frame})
+	em.HandleMirror(pisa.Mirror{QID: 1, EntryOp: 0, Packet: frame[:10]}) // mangled
+	results, _ := engine.EndWindow()
+	if len(results[0].Tuples) != 1 || results[0].Tuples[0][0].U != 99 {
+		t.Fatalf("results = %+v", results[0].Tuples)
+	}
+	_, malformed := em.WindowStats()
+	if malformed != 1 {
+		t.Errorf("malformed = %d, want 1", malformed)
+	}
+}
+
+func TestHandleDumpsMerges(t *testing.T) {
+	engine, em := engineWithQ1(t)
+	// Overflow path first (tuple merged through the reduce op itself).
+	em.HandleMirror(pisa.Mirror{QID: 1, Overflow: true, MergeOp: 2,
+		Vals: []tuple.Value{tuple.U64(5), tuple.U64(1)}})
+	// Register dump adds 4 more for the same key.
+	em.HandleDumps([]pisa.RegDump{{QID: 1, MergeOp: 2,
+		KeyVals: []tuple.Value{tuple.U64(5)}, Val: 4}})
+	results, m := engine.EndWindow()
+	if m.TuplesIn != 2 {
+		t.Errorf("TuplesIn = %d", m.TuplesIn)
+	}
+	if len(results[0].Tuples) != 1 || results[0].Tuples[0][1].U != 5 {
+		t.Fatalf("results = %+v", results[0].Tuples)
+	}
+}

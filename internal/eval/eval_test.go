@@ -1,0 +1,179 @@
+package eval
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/pisa"
+	"repro/internal/planner"
+	"repro/internal/queries"
+)
+
+func smallWorkload(t *testing.T) *Workload {
+	t.Helper()
+	w, err := NewWorkload(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestTable3LoCShape(t *testing.T) {
+	tab := Table3(queries.DefaultParams(), []int{8, 16, 24})
+	if len(tab.Rows) != 11 {
+		t.Fatalf("rows = %d, want 11", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		sonata, _ := strconv.Atoi(row[2])
+		p4, _ := strconv.Atoi(row[3])
+		spark, _ := strconv.Atoi(row[4])
+		// The paper's qualitative claim: Sonata queries are under 20 lines,
+		// far below the generated target code combined.
+		if sonata >= 20 {
+			t.Errorf("%s: sonata LoC = %d, want < 20", row[1], sonata)
+		}
+		if p4 < 5*sonata {
+			t.Errorf("%s: p4 LoC = %d vs sonata %d: expected order-of-magnitude gap", row[1], p4, sonata)
+		}
+		if spark <= 0 {
+			t.Errorf("%s: spark LoC = %d", row[1], spark)
+		}
+	}
+}
+
+func TestFig3Monotonicity(t *testing.T) {
+	tab := Fig3()
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", s)
+		}
+		return v
+	}
+	// Within a row, more chains means fewer collisions; down a column, more
+	// keys means more collisions.
+	for _, row := range tab.Rows {
+		d1, d4 := parse(row[1]), parse(row[4])
+		if d1 < d4 {
+			t.Errorf("k/n=%s: d=1 rate %v < d=4 rate %v", row[0], d1, d4)
+		}
+	}
+	first := parse(tab.Rows[0][1])
+	last := parse(tab.Rows[len(tab.Rows)-1][1])
+	if last <= first {
+		t.Errorf("collision rate did not grow with load: %v -> %v", first, last)
+	}
+}
+
+func TestFig5TransitionCosts(t *testing.T) {
+	w := smallWorkload(t)
+	tab, err := Fig5(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no transitions")
+	}
+	var starCoarseN1, gatedN1 float64
+	for _, row := range tab.Rows {
+		n1, _ := strconv.ParseFloat(row[1], 64)
+		n2, _ := strconv.ParseFloat(row[2], 64)
+		if n2 > n1 {
+			t.Errorf("%s: N2 (%v) > N1 (%v); reduce must not increase tuples", row[0], n2, n1)
+		}
+		if strings.HasPrefix(row[0], "*->8") {
+			starCoarseN1 = n1
+		}
+		if strings.HasPrefix(row[0], "8->32") {
+			gatedN1 = n1
+		}
+	}
+	if gatedN1 == 0 || starCoarseN1 == 0 {
+		t.Fatal("expected transitions missing")
+	}
+}
+
+func TestRunModeOrderingOnWorkload(t *testing.T) {
+	w := smallWorkload(t)
+	p := ScaledParams(SmallScale())
+	qs := queries.TopEight(p)[:2]
+	exp := NewExperiment(w, qs)
+	cfg := pisa.DefaultConfig()
+	allSP, err := exp.Run(cfg, planner.ModeAllSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sonata, err := exp.Run(cfg, planner.ModeSonata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sonata.MeanTuples() >= allSP.MeanTuples() {
+		t.Errorf("Sonata %v !< All-SP %v", sonata.MeanTuples(), allSP.MeanTuples())
+	}
+	if allSP.MeanTuples() < float64(SmallScale().PacketsPerWindow) {
+		t.Errorf("All-SP mean %v below window packet count", allSP.MeanTuples())
+	}
+}
+
+func TestCaseStudyDetectsZorro(t *testing.T) {
+	res, err := CaseStudy(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VictimIdentifiedWindow < 0 {
+		t.Fatal("victim never identified")
+	}
+	if res.AttackConfirmedWindow < 0 {
+		t.Fatal("attack never confirmed")
+	}
+	if res.AttackConfirmedWindow < res.VictimIdentifiedWindow {
+		t.Errorf("confirmed (%d) before identified (%d)",
+			res.AttackConfirmedWindow, res.VictimIdentifiedWindow)
+	}
+	if len(res.Table.Rows) == 0 {
+		t.Error("empty timeline")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "t", Title: "demo", Header: []string{"a", "b"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", 0.125)
+	text := tab.Render()
+	for _, frag := range []string{"demo", "a", "2.5", "0.125"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("render missing %q:\n%s", frag, text)
+		}
+	}
+	tsv := tab.TSV()
+	if !strings.HasPrefix(tsv, "a\tb\n") {
+		t.Errorf("tsv = %q", tsv)
+	}
+	md := tab.Markdown()
+	if !strings.Contains(md, "| a | b |") {
+		t.Errorf("markdown = %q", md)
+	}
+}
+
+func TestScaledParamsScaleWithWorkload(t *testing.T) {
+	small := ScaledParams(Scale{PacketsPerWindow: 10_000})
+	big := ScaledParams(Scale{PacketsPerWindow: 1_000_000})
+	if big.NewTCPThresh <= small.NewTCPThresh {
+		t.Errorf("thresholds did not scale: %d vs %d", big.NewTCPThresh, small.NewTCPThresh)
+	}
+	if small.NewTCPThresh < 8 {
+		t.Errorf("threshold floor broken: %d", small.NewTCPThresh)
+	}
+}
+
+func TestWorkloadSplitValidation(t *testing.T) {
+	s := SmallScale()
+	s.TrainWindows = s.Windows
+	if _, err := NewWorkload(s); err == nil {
+		t.Error("train == total windows accepted")
+	}
+}

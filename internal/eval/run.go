@@ -1,0 +1,144 @@
+package eval
+
+import (
+	"time"
+
+	"repro/internal/pisa"
+	"repro/internal/planner"
+	"repro/internal/query"
+	"repro/internal/runtime"
+)
+
+// RunResult summarizes one (query set, plan mode, switch config) execution
+// over the workload's evaluation windows.
+type RunResult struct {
+	Mode planner.Mode
+	// PerWindow is the stream-processor tuple count per evaluation window —
+	// the paper's y-axis.
+	PerWindow []uint64
+	// Detected collects every key (first result column) reported at the
+	// finest level across windows.
+	Detected map[uint64]bool
+	// Delay is the maximum detection delay across queries, in windows.
+	Delay int
+	// Collisions counts register overflows across the run.
+	Collisions uint64
+	// FilterUpdates / UpdateTime accumulate the dynamic-refinement overhead.
+	FilterUpdates int
+	UpdateTime    time.Duration
+	// PlannedN is the planner's trained estimate, for planner-accuracy
+	// checks.
+	PlannedN uint64
+}
+
+// MeanTuples averages the per-window load.
+func (r *RunResult) MeanTuples() float64 {
+	if len(r.PerWindow) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, v := range r.PerWindow {
+		sum += v
+	}
+	return float64(sum) / float64(len(r.PerWindow))
+}
+
+// MaxTuples returns the worst window.
+func (r *RunResult) MaxTuples() uint64 {
+	var max uint64
+	for _, v := range r.PerWindow {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Experiment caches training so multiple modes and switch configurations
+// reuse it (training depends only on queries and traffic).
+type Experiment struct {
+	W       *Workload
+	Queries []*query.Query
+	Levels  []int
+
+	training *planner.TrainingResult
+}
+
+// NewExperiment prepares an experiment with the default level menu.
+func NewExperiment(w *Workload, qs []*query.Query) *Experiment {
+	return &Experiment{W: w, Queries: qs, Levels: []int{8, 16, 24}}
+}
+
+// Training trains lazily and caches.
+func (e *Experiment) Training() (*planner.TrainingResult, error) {
+	if e.training != nil {
+		return e.training, nil
+	}
+	tr, err := planner.Train(e.Queries, e.Levels, e.W.TrainingFrames())
+	if err != nil {
+		return nil, err
+	}
+	e.training = tr
+	return tr, nil
+}
+
+// Run plans under the mode and replays the evaluation windows.
+func (e *Experiment) Run(cfg pisa.Config, mode planner.Mode) (*RunResult, error) {
+	tr, err := e.Training()
+	if err != nil {
+		return nil, err
+	}
+	opts := planner.DefaultOptions()
+	opts.Mode = mode
+	plan, err := planner.PlanQueries(tr, e.Queries, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := runtime.New(plan, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{Mode: mode, Detected: make(map[uint64]bool), PlannedN: plan.ExpectedN()}
+	for _, qp := range plan.Queries {
+		if d := qp.Delay(); d > res.Delay {
+			res.Delay = d
+		}
+	}
+	for _, wi := range e.W.EvalWindowIndices() {
+		rep := rt.ProcessWindow(e.W.Frames(wi))
+		res.PerWindow = append(res.PerWindow, rep.TuplesToSP)
+		res.Collisions += rep.Switch.Collisions
+		res.FilterUpdates += rep.FilterUpdates
+		res.UpdateTime += rep.UpdateDuration
+		for _, r := range rep.Results {
+			for _, t := range r.Tuples {
+				if len(t) > 0 && !t[0].Str {
+					res.Detected[t[0].U] = true
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// AllModes runs every Table 4 plan mode.
+func (e *Experiment) AllModes(cfg pisa.Config) (map[planner.Mode]*RunResult, error) {
+	out := make(map[planner.Mode]*RunResult)
+	for _, mode := range Modes {
+		res, err := e.Run(cfg, mode)
+		if err != nil {
+			return nil, err
+		}
+		out[mode] = res
+	}
+	return out, nil
+}
+
+// Modes lists the emulated systems in presentation order (Table 4).
+var Modes = []planner.Mode{
+	planner.ModeAllSP,
+	planner.ModeFilterDP,
+	planner.ModeMaxDP,
+	planner.ModeFixRef,
+	planner.ModeSonata,
+}

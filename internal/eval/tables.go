@@ -1,0 +1,106 @@
+// Package eval regenerates every table and figure of the paper's evaluation
+// (Section 6) against the synthetic workload: the expressiveness table
+// (Table 3), the collision-rate model (Figure 3), the refinement cost
+// matrix (Figure 5), single- and multi-query stream-processor load
+// (Figure 7), the switch-constraint sweeps (Figure 8), the dynamic
+// refinement overhead micro-benchmark, and the Zorro case study (Figure 9).
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: one paper table or figure's data.
+type Table struct {
+	ID     string // e.g. "fig7a"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// Render prints an aligned text table.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for i := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", widths[i]))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// TSV renders tab-separated values for plotting.
+func (t *Table) TSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Header, "\t"))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		sb.WriteString(strings.Join(row, "\t"))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Markdown renders a GitHub-flavored markdown table (EXPERIMENTS.md embeds
+// these).
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	sb.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat(" --- |", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return sb.String()
+}

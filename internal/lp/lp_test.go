@@ -1,0 +1,202 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleLE(t *testing.T) {
+	// min -x - 2y s.t. x + y <= 4, x <= 2 => x=2, y=2, obj=-6.
+	p := &Problem{
+		C: []float64{-1, -2},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: LE, RHS: 4},
+			{Coef: []float64{1}, Rel: LE, RHS: 2},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("solve: %v %v", sol.Status, err)
+	}
+	if !approx(sol.Objective, -8) {
+		// x=0,y=4 gives -8, better than x=2,y=2 (-6).
+		t.Fatalf("objective = %v, want -8 (x=%v)", sol.Objective, sol.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min x + y s.t. x + y >= 3, x - y = 1 => x=2, y=1, obj=3.
+	p := &Problem{
+		C: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: GE, RHS: 3},
+			{Coef: []float64{1, -1}, Rel: EQ, RHS: 1},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("solve: %v %v", sol.Status, err)
+	}
+	if !approx(sol.Objective, 3) || !approx(sol.X[0], 2) || !approx(sol.X[1], 1) {
+		t.Fatalf("solution = %+v", sol)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2.
+	p := &Problem{
+		C: []float64{1},
+		Constraints: []Constraint{
+			{Coef: []float64{1}, Rel: LE, RHS: 1},
+			{Coef: []float64{1}, Rel: GE, RHS: 2},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with no upper bound on x.
+	p := &Problem{C: []float64{-1}}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// min x s.t. -x <= -3  (i.e. x >= 3).
+	p := &Problem{
+		C:           []float64{1},
+		Constraints: []Constraint{{Coef: []float64{-1}, Rel: LE, RHS: -3}},
+	}
+	sol, err := Solve(p)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("solve: %+v %v", sol, err)
+	}
+	if !approx(sol.X[0], 3) {
+		t.Fatalf("x = %v, want 3", sol.X[0])
+	}
+}
+
+func TestDegenerateTies(t *testing.T) {
+	// A classic degenerate problem; Bland's rule must terminate.
+	p := &Problem{
+		C: []float64{-0.75, 150, -0.02, 6},
+		Constraints: []Constraint{
+			{Coef: []float64{0.25, -60, -0.04, 9}, Rel: LE, RHS: 0},
+			{Coef: []float64{0.5, -90, -0.02, 3}, Rel: LE, RHS: 0},
+			{Coef: []float64{0, 0, 1, 0}, Rel: LE, RHS: 1},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("solve: %+v %v", sol, err)
+	}
+	if !approx(sol.Objective, -0.05) {
+		t.Fatalf("objective = %v, want -0.05", sol.Objective)
+	}
+}
+
+func TestBadProblemRejected(t *testing.T) {
+	if _, err := Solve(&Problem{}); err == nil {
+		t.Error("empty problem accepted")
+	}
+	p := &Problem{C: []float64{1},
+		Constraints: []Constraint{{Coef: []float64{1, 2}, Rel: LE, RHS: 1}}}
+	if _, err := Solve(p); err == nil {
+		t.Error("over-long constraint accepted")
+	}
+}
+
+// Property: for random feasible bounded problems of the knapsack-relaxation
+// shape, the solution respects every constraint and is at least as good as
+// any sampled feasible point.
+func TestRandomKnapsackRelaxations(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		m := 1 + r.Intn(4)
+		p := &Problem{C: make([]float64, n)}
+		for j := range p.C {
+			p.C[j] = -(r.Float64()*10 + 0.1) // maximize value
+		}
+		for i := 0; i < m; i++ {
+			coef := make([]float64, n)
+			for j := range coef {
+				coef[j] = r.Float64()*5 + 0.1
+			}
+			p.Constraints = append(p.Constraints,
+				Constraint{Coef: coef, Rel: LE, RHS: r.Float64()*20 + 1})
+		}
+		// x <= 1 for each var keeps it bounded.
+		for j := 0; j < n; j++ {
+			coef := make([]float64, j+1)
+			coef[j] = 1
+			p.Constraints = append(p.Constraints, Constraint{Coef: coef, Rel: LE, RHS: 1})
+		}
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		// Check feasibility.
+		for _, c := range p.Constraints {
+			dot := 0.0
+			for j, v := range c.Coef {
+				dot += v * sol.X[j]
+			}
+			if dot > c.RHS+1e-6 {
+				return false
+			}
+		}
+		for _, x := range sol.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		// Compare against random feasible points.
+		for trial := 0; trial < 20; trial++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = r.Float64()
+			}
+			feasible := true
+			obj := 0.0
+			for _, c := range p.Constraints {
+				dot := 0.0
+				for j, v := range c.Coef {
+					dot += v * x[j]
+				}
+				if dot > c.RHS {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			for j := range x {
+				obj += p.C[j] * x[j]
+			}
+			if obj < sol.Objective-1e-6 {
+				return false // sampled point beat the "optimum"
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

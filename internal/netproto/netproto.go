@@ -1,0 +1,200 @@
+// Package netproto implements the control-plane protocol between Sonata's
+// runtime and its drivers — the role the Thrift API plays in the paper's
+// implementation (Section 5). Messages are gob-encoded structs behind a
+// length-prefixed frame with a type byte, carried over any net.Conn.
+//
+// The protocol is deliberately small: capability discovery, program
+// installation, dynamic filter-table updates, and end-of-window register
+// collection. The packet fast path never crosses this channel; only
+// control operations do, exactly as in the paper's architecture.
+package netproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/pisa"
+)
+
+// MsgType tags each frame.
+type MsgType uint8
+
+const (
+	// MsgError carries a string error back to the caller.
+	MsgError MsgType = iota
+	// MsgHello / MsgCapabilities negotiate and report switch constraints.
+	MsgHello
+	MsgCapabilities
+	// MsgInstall ships a compiled program to the data plane.
+	MsgInstall
+	MsgInstallOK
+	// MsgUpdateTable replaces a dynamic filter's entries.
+	MsgUpdateTable
+	MsgUpdateOK
+	// MsgEndWindow closes the switch window; MsgWindowData returns dumps
+	// and stats.
+	MsgEndWindow
+	MsgWindowData
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgError:
+		return "error"
+	case MsgHello:
+		return "hello"
+	case MsgCapabilities:
+		return "capabilities"
+	case MsgInstall:
+		return "install"
+	case MsgInstallOK:
+		return "install-ok"
+	case MsgUpdateTable:
+		return "update-table"
+	case MsgUpdateOK:
+		return "update-ok"
+	case MsgEndWindow:
+		return "end-window"
+	case MsgWindowData:
+		return "window-data"
+	default:
+		return fmt.Sprintf("msg(%d)", uint8(t))
+	}
+}
+
+// maxFrame bounds a control frame; programs and dumps stay far below this.
+const maxFrame = 64 << 20
+
+// Hello is the client's opening message.
+type Hello struct {
+	Version int
+}
+
+// ProtocolVersion is bumped on incompatible changes.
+const ProtocolVersion = 1
+
+// UpdateTable names a dynamic filter and its replacement entries.
+type UpdateTable struct {
+	QID   uint16
+	Level uint8
+	Side  pisa.Side
+	OpIdx int
+	Keys  []string
+}
+
+// UpdateResult reports entries written.
+type UpdateResult struct {
+	Entries int
+}
+
+// WindowData carries the end-of-window register dumps and stats.
+type WindowData struct {
+	Dumps []pisa.RegDump
+	Stats pisa.WindowStats
+}
+
+// ErrorMsg carries a remote failure.
+type ErrorMsg struct {
+	Text string
+}
+
+// Conn frames gob messages over an io.ReadWriter.
+type Conn struct {
+	rw io.ReadWriter
+}
+
+// NewConn wraps a transport.
+func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+
+// Send writes one frame: u32 length | u8 type | gob payload.
+func (c *Conn) Send(t MsgType, payload any) error {
+	var body bytes.Buffer
+	if payload != nil {
+		if err := gob.NewEncoder(&body).Encode(payload); err != nil {
+			return fmt.Errorf("netproto: encoding %v: %w", t, err)
+		}
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(body.Len()+1))
+	hdr[4] = byte(t)
+	if _, err := c.rw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("netproto: writing %v header: %w", t, err)
+	}
+	// Skip empty writes: a zero-length Write on a synchronous transport
+	// (net.Pipe) blocks until a matching zero-length Read that never comes.
+	if body.Len() > 0 {
+		if _, err := c.rw.Write(body.Bytes()); err != nil {
+			return fmt.Errorf("netproto: writing %v body: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// RecvRaw reads one frame, returning its type and undecoded payload. A
+// MsgError frame is surfaced as a Go error (with the type still returned).
+func (c *Conn) RecvRaw() (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("netproto: bad frame length %d", n)
+	}
+	t := MsgType(hdr[4])
+	body := make([]byte, n-1)
+	if _, err := io.ReadFull(c.rw, body); err != nil {
+		return t, nil, fmt.Errorf("netproto: reading %v body: %w", t, io.ErrUnexpectedEOF)
+	}
+	if t == MsgError {
+		var e ErrorMsg
+		if err := Decode(body, &e); err != nil {
+			return t, nil, fmt.Errorf("netproto: undecodable remote error: %w", err)
+		}
+		return t, nil, fmt.Errorf("netproto: remote error: %s", e.Text)
+	}
+	return t, body, nil
+}
+
+// Decode unmarshals a frame payload.
+func Decode(body []byte, out any) error {
+	if len(body) == 0 {
+		return nil
+	}
+	return gob.NewDecoder(bytes.NewReader(body)).Decode(out)
+}
+
+// Recv reads one frame and decodes its payload into out (which may be nil
+// for payload-less messages).
+func (c *Conn) Recv(out any) (MsgType, error) {
+	t, body, err := c.RecvRaw()
+	if err != nil {
+		return t, err
+	}
+	if out != nil {
+		if err := Decode(body, out); err != nil {
+			return t, fmt.Errorf("netproto: decoding %v: %w", t, err)
+		}
+	}
+	return t, nil
+}
+
+// Expect receives and verifies the message type.
+func (c *Conn) Expect(want MsgType, out any) error {
+	got, err := c.Recv(out)
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("netproto: got %v, want %v", got, want)
+	}
+	return nil
+}
+
+// SendError reports a failure to the peer.
+func (c *Conn) SendError(err error) error {
+	return c.Send(MsgError, &ErrorMsg{Text: err.Error()})
+}

@@ -1,0 +1,157 @@
+package netproto
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+
+	"repro/internal/pisa"
+	"repro/internal/tuple"
+)
+
+// duplex is an in-memory bidirectional buffer for single-threaded framing
+// tests.
+type duplex struct {
+	buf bytes.Buffer
+}
+
+func (d *duplex) Read(p []byte) (int, error)  { return d.buf.Read(p) }
+func (d *duplex) Write(p []byte) (int, error) { return d.buf.Write(p) }
+
+func TestFramingRoundTrip(t *testing.T) {
+	d := &duplex{}
+	c := NewConn(d)
+	want := UpdateTable{QID: 7, Level: 16, Side: pisa.SideRight, OpIdx: 2,
+		Keys: []string{"a", "bb", ""}}
+	if err := c.Send(MsgUpdateTable, &want); err != nil {
+		t.Fatal(err)
+	}
+	var got UpdateTable
+	if err := c.Expect(MsgUpdateTable, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.QID != 7 || got.Level != 16 || got.Side != pisa.SideRight || len(got.Keys) != 3 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestEmptyPayloadFrames(t *testing.T) {
+	d := &duplex{}
+	c := NewConn(d)
+	if err := c.Send(MsgEndWindow, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := c.RecvRaw()
+	if err != nil || typ != MsgEndWindow || len(body) != 0 {
+		t.Fatalf("typ=%v body=%d err=%v", typ, len(body), err)
+	}
+}
+
+func TestErrorFramesSurfaceAsErrors(t *testing.T) {
+	d := &duplex{}
+	c := NewConn(d)
+	if err := c.SendError(io.ErrClosedPipe); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recv(nil); err == nil {
+		t.Fatal("error frame not surfaced")
+	}
+}
+
+func TestExpectMismatch(t *testing.T) {
+	d := &duplex{}
+	c := NewConn(d)
+	c.Send(MsgHello, &Hello{Version: 1})
+	if err := c.Expect(MsgCapabilities, nil); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+}
+
+func TestWindowDataWithTuples(t *testing.T) {
+	d := &duplex{}
+	c := NewConn(d)
+	wd := WindowData{
+		Dumps: []pisa.RegDump{{QID: 1, Level: 32, MergeOp: 2,
+			KeyVals: []tuple.Value{tuple.U64(99), tuple.Str("x")}, Val: 5}},
+		Stats: pisa.WindowStats{PacketsIn: 100, Mirrored: 3},
+	}
+	if err := c.Send(MsgWindowData, &wd); err != nil {
+		t.Fatal(err)
+	}
+	var got WindowData
+	if err := c.Expect(MsgWindowData, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Dumps) != 1 || got.Dumps[0].Val != 5 || !got.Dumps[0].KeyVals[1].Str {
+		t.Errorf("dumps = %+v", got.Dumps)
+	}
+	if got.Stats.PacketsIn != 100 {
+		t.Errorf("stats = %+v", got.Stats)
+	}
+}
+
+func TestRejectsOversizedFrame(t *testing.T) {
+	d := &duplex{}
+	// Forge a header claiming a giant body.
+	d.buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, byte(MsgHello)})
+	c := NewConn(d)
+	if _, _, err := c.RecvRaw(); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	d := &duplex{}
+	c := NewConn(d)
+	c.Send(MsgHello, &Hello{Version: 1})
+	raw := d.buf.Bytes()
+	short := &duplex{}
+	short.buf.Write(raw[:len(raw)-2])
+	if _, _, err := NewConn(short).RecvRaw(); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		c := NewConn(conn)
+		var h Hello
+		if err := c.Expect(MsgHello, &h); err != nil {
+			done <- err
+			return
+		}
+		done <- c.Send(MsgCapabilities, &pisa.Config{Stages: h.Version})
+	}()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := NewConn(conn)
+	if err := c.Send(MsgHello, &Hello{Version: 9}); err != nil {
+		t.Fatal(err)
+	}
+	var cfg pisa.Config
+	if err := c.Expect(MsgCapabilities, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Stages != 9 {
+		t.Errorf("echoed stages = %d", cfg.Stages)
+	}
+	if err := <-done; err != nil {
+		t.Errorf("server: %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+package packet
+
+import "encoding/binary"
+
+// FrameSpec describes a frame to assemble. Zero values give a minimal valid
+// TCP/IPv4 frame; set Proto to select the transport.
+type FrameSpec struct {
+	SrcMAC, DstMAC [6]byte
+	SrcIP, DstIP   uint32
+	Proto          uint8 // fields.ProtoTCP, ProtoUDP, or other (raw IP payload)
+	TTL            uint8 // defaults to 64
+	TOS            uint8
+	IPID           uint16
+
+	SrcPort, DstPort uint16
+	TCPFlags         uint8
+	Seq, Ack         uint32
+	Window           uint16
+
+	Payload []byte
+
+	// Pad grows the frame to at least this many bytes with trailing zeros
+	// after the IP datagram, emulating a chosen wire length without
+	// inflating the transport payload.
+	Pad int
+}
+
+// BuildFrame assembles a complete Ethernet/IPv4 frame with correct lengths
+// and checksums, appending to dst (which may be nil).
+func BuildFrame(dst []byte, s *FrameSpec) []byte {
+	ttl := s.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	var transport []byte
+	switch s.Proto {
+	case 6:
+		tcp := TCP{
+			SrcPort: s.SrcPort, DstPort: s.DstPort,
+			Seq: s.Seq, Ack: s.Ack,
+			Flags: s.TCPFlags, Window: s.Window,
+		}
+		transport = AppendTCP(nil, &tcp)
+		transport = append(transport, s.Payload...)
+		sum := Checksum(transport, pseudoHeaderSum(s.SrcIP, s.DstIP, 6, len(transport)))
+		binary.BigEndian.PutUint16(transport[16:18], sum)
+	case 17:
+		udp := UDP{
+			SrcPort: s.SrcPort, DstPort: s.DstPort,
+			Length: uint16(udpHeaderLen + len(s.Payload)),
+		}
+		transport = AppendUDP(nil, &udp)
+		transport = append(transport, s.Payload...)
+		sum := Checksum(transport, pseudoHeaderSum(s.SrcIP, s.DstIP, 17, len(transport)))
+		if sum == 0 {
+			sum = 0xffff // RFC 768: zero checksum means "none"
+		}
+		binary.BigEndian.PutUint16(transport[6:8], sum)
+	default:
+		transport = s.Payload
+	}
+
+	eth := Ethernet{Dst: s.DstMAC, Src: s.SrcMAC, Type: EtherTypeIPv4}
+	dst = AppendEthernet(dst, &eth)
+	ip := IPv4{
+		TOS: s.TOS, TotalLen: uint16(ipv4MinHeaderLen + len(transport)),
+		ID: s.IPID, TTL: ttl, Proto: s.Proto,
+		Src: s.SrcIP, Dst: s.DstIP,
+	}
+	dst = AppendIPv4(dst, &ip)
+	dst = append(dst, transport...)
+	for len(dst) < s.Pad {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// BuildDNSQuery assembles a UDP frame carrying a single-question DNS query.
+func BuildDNSQuery(dst []byte, s *FrameSpec, id uint16, qname string, qtype uint16) []byte {
+	msg := DNS{ID: id, Recursion: true,
+		Questions: []DNSQuestion{{Name: qname, Type: qtype, Class: 1}}}
+	spec := *s
+	spec.Proto = 17
+	spec.DstPort = 53
+	spec.Payload = AppendDNS(nil, &msg)
+	return BuildFrame(dst, &spec)
+}
+
+// BuildDNSResponse assembles a UDP frame carrying a DNS response with the
+// given answers (and the matching question).
+func BuildDNSResponse(dst []byte, s *FrameSpec, id uint16, qname string, qtype uint16, answers []DNSRecord) []byte {
+	msg := DNS{ID: id, Response: true, Recursion: true,
+		Questions: []DNSQuestion{{Name: qname, Type: qtype, Class: 1}},
+		Answers:   answers}
+	spec := *s
+	spec.Proto = 17
+	spec.SrcPort = 53
+	spec.Payload = AppendDNS(nil, &msg)
+	return BuildFrame(dst, &spec)
+}

@@ -1,0 +1,279 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Ethernet is a decoded Ethernet II header.
+type Ethernet struct {
+	Dst  [6]byte
+	Src  [6]byte
+	Type uint16
+}
+
+const ethernetHeaderLen = 14
+
+// DecodeEthernet fills h from data and returns the remaining bytes.
+func DecodeEthernet(data []byte, h *Ethernet) ([]byte, error) {
+	if len(data) < ethernetHeaderLen {
+		return nil, fmt.Errorf("packet: ethernet header truncated (%d bytes)", len(data))
+	}
+	copy(h.Dst[:], data[0:6])
+	copy(h.Src[:], data[6:12])
+	h.Type = binary.BigEndian.Uint16(data[12:14])
+	return data[ethernetHeaderLen:], nil
+}
+
+// AppendEthernet appends the wire encoding of h to dst.
+func AppendEthernet(dst []byte, h *Ethernet) []byte {
+	dst = append(dst, h.Dst[:]...)
+	dst = append(dst, h.Src[:]...)
+	return binary.BigEndian.AppendUint16(dst, h.Type)
+}
+
+// IPv4 is a decoded IPv4 header (options are validated for length but not
+// interpreted).
+type IPv4 struct {
+	IHL      uint8 // header length in 32-bit words
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8  // 3 bits
+	FragOff  uint16 // 13 bits
+	TTL      uint8
+	Proto    uint8
+	Checksum uint16
+	Src      uint32
+	Dst      uint32
+}
+
+const ipv4MinHeaderLen = 20
+
+// DecodeIPv4 fills h from data and returns the bytes after the header,
+// bounded by TotalLen so trailing link-layer padding is excluded.
+func DecodeIPv4(data []byte, h *IPv4) ([]byte, error) {
+	if len(data) < ipv4MinHeaderLen {
+		return nil, fmt.Errorf("packet: ipv4 header truncated (%d bytes)", len(data))
+	}
+	vihl := data[0]
+	if vihl>>4 != 4 {
+		return nil, fmt.Errorf("packet: ipv4 version field is %d", vihl>>4)
+	}
+	h.IHL = vihl & 0x0f
+	hdrLen := int(h.IHL) * 4
+	if hdrLen < ipv4MinHeaderLen || len(data) < hdrLen {
+		return nil, fmt.Errorf("packet: ipv4 IHL %d invalid for %d bytes", h.IHL, len(data))
+	}
+	h.TOS = data[1]
+	h.TotalLen = binary.BigEndian.Uint16(data[2:4])
+	h.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	h.Flags = uint8(ff >> 13)
+	h.FragOff = ff & 0x1fff
+	h.TTL = data[8]
+	h.Proto = data[9]
+	h.Checksum = binary.BigEndian.Uint16(data[10:12])
+	h.Src = binary.BigEndian.Uint32(data[12:16])
+	h.Dst = binary.BigEndian.Uint32(data[16:20])
+	end := int(h.TotalLen)
+	if end < hdrLen {
+		return nil, fmt.Errorf("packet: ipv4 total length %d shorter than header %d", end, hdrLen)
+	}
+	if end > len(data) {
+		end = len(data) // tolerate truncated captures
+	}
+	return data[hdrLen:end], nil
+}
+
+// AppendIPv4 appends the wire encoding of h to dst, computing the header
+// checksum. IHL is forced to 5 (no options).
+func AppendIPv4(dst []byte, h *IPv4) []byte {
+	start := len(dst)
+	dst = append(dst, 0x45, h.TOS)
+	dst = binary.BigEndian.AppendUint16(dst, h.TotalLen)
+	dst = binary.BigEndian.AppendUint16(dst, h.ID)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	dst = append(dst, h.TTL, h.Proto)
+	dst = append(dst, 0, 0) // checksum placeholder
+	dst = binary.BigEndian.AppendUint32(dst, h.Src)
+	dst = binary.BigEndian.AppendUint32(dst, h.Dst)
+	sum := Checksum(dst[start:], 0)
+	binary.BigEndian.PutUint16(dst[start+10:start+12], sum)
+	return dst
+}
+
+// IPv6 is a decoded IPv6 fixed header. Addresses are carried as the upper 64
+// bits (network-identifying half) plus the full bytes, since the query
+// fields only use prefixes.
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32
+	PayloadLen   uint16
+	NextHeader   uint8
+	HopLimit     uint8
+	SrcHi, SrcLo uint64
+	DstHi, DstLo uint64
+}
+
+const ipv6HeaderLen = 40
+
+// DecodeIPv6 fills h from data and returns the payload bytes bounded by
+// PayloadLen.
+func DecodeIPv6(data []byte, h *IPv6) ([]byte, error) {
+	if len(data) < ipv6HeaderLen {
+		return nil, fmt.Errorf("packet: ipv6 header truncated (%d bytes)", len(data))
+	}
+	v := binary.BigEndian.Uint32(data[0:4])
+	if v>>28 != 6 {
+		return nil, fmt.Errorf("packet: ipv6 version field is %d", v>>28)
+	}
+	h.TrafficClass = uint8(v >> 20)
+	h.FlowLabel = v & 0xfffff
+	h.PayloadLen = binary.BigEndian.Uint16(data[4:6])
+	h.NextHeader = data[6]
+	h.HopLimit = data[7]
+	h.SrcHi = binary.BigEndian.Uint64(data[8:16])
+	h.SrcLo = binary.BigEndian.Uint64(data[16:24])
+	h.DstHi = binary.BigEndian.Uint64(data[24:32])
+	h.DstLo = binary.BigEndian.Uint64(data[32:40])
+	end := ipv6HeaderLen + int(h.PayloadLen)
+	if end > len(data) {
+		end = len(data)
+	}
+	return data[ipv6HeaderLen:end], nil
+}
+
+// AppendIPv6 appends the wire encoding of h to dst.
+func AppendIPv6(dst []byte, h *IPv6) []byte {
+	v := uint32(6)<<28 | uint32(h.TrafficClass)<<20 | h.FlowLabel&0xfffff
+	dst = binary.BigEndian.AppendUint32(dst, v)
+	dst = binary.BigEndian.AppendUint16(dst, h.PayloadLen)
+	dst = append(dst, h.NextHeader, h.HopLimit)
+	dst = binary.BigEndian.AppendUint64(dst, h.SrcHi)
+	dst = binary.BigEndian.AppendUint64(dst, h.SrcLo)
+	dst = binary.BigEndian.AppendUint64(dst, h.DstHi)
+	dst = binary.BigEndian.AppendUint64(dst, h.DstLo)
+	return dst
+}
+
+// TCP is a decoded TCP header.
+type TCP struct {
+	SrcPort    uint16
+	DstPort    uint16
+	Seq        uint32
+	Ack        uint32
+	DataOffset uint8 // header length in 32-bit words
+	Flags      uint8
+	Window     uint16
+	Checksum   uint16
+	Urgent     uint16
+}
+
+const tcpMinHeaderLen = 20
+
+// DecodeTCP fills h from data and returns the payload bytes.
+func DecodeTCP(data []byte, h *TCP) ([]byte, error) {
+	if len(data) < tcpMinHeaderLen {
+		return nil, fmt.Errorf("packet: tcp header truncated (%d bytes)", len(data))
+	}
+	h.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	h.DstPort = binary.BigEndian.Uint16(data[2:4])
+	h.Seq = binary.BigEndian.Uint32(data[4:8])
+	h.Ack = binary.BigEndian.Uint32(data[8:12])
+	h.DataOffset = data[12] >> 4
+	h.Flags = data[13]
+	h.Window = binary.BigEndian.Uint16(data[14:16])
+	h.Checksum = binary.BigEndian.Uint16(data[16:18])
+	h.Urgent = binary.BigEndian.Uint16(data[18:20])
+	hdrLen := int(h.DataOffset) * 4
+	if hdrLen < tcpMinHeaderLen || hdrLen > len(data) {
+		return nil, fmt.Errorf("packet: tcp data offset %d invalid for %d bytes", h.DataOffset, len(data))
+	}
+	return data[hdrLen:], nil
+}
+
+// AppendTCP appends the wire encoding of h to dst with DataOffset forced to
+// 5 (no options). The checksum must be filled afterwards by the frame
+// builder, which knows the pseudo-header.
+func AppendTCP(dst []byte, h *TCP) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, h.SrcPort)
+	dst = binary.BigEndian.AppendUint16(dst, h.DstPort)
+	dst = binary.BigEndian.AppendUint32(dst, h.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, h.Ack)
+	dst = append(dst, 5<<4, h.Flags)
+	dst = binary.BigEndian.AppendUint16(dst, h.Window)
+	dst = append(dst, 0, 0) // checksum placeholder
+	dst = binary.BigEndian.AppendUint16(dst, h.Urgent)
+	return dst
+}
+
+// UDP is a decoded UDP header.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+}
+
+const udpHeaderLen = 8
+
+// DecodeUDP fills h from data and returns the payload bytes bounded by the
+// UDP length field.
+func DecodeUDP(data []byte, h *UDP) ([]byte, error) {
+	if len(data) < udpHeaderLen {
+		return nil, fmt.Errorf("packet: udp header truncated (%d bytes)", len(data))
+	}
+	h.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	h.DstPort = binary.BigEndian.Uint16(data[2:4])
+	h.Length = binary.BigEndian.Uint16(data[4:6])
+	h.Checksum = binary.BigEndian.Uint16(data[6:8])
+	end := int(h.Length)
+	if end < udpHeaderLen {
+		return nil, fmt.Errorf("packet: udp length %d shorter than header", end)
+	}
+	if end > len(data) {
+		end = len(data)
+	}
+	return data[udpHeaderLen:end], nil
+}
+
+// AppendUDP appends the wire encoding of h to dst. The checksum must be
+// filled afterwards by the frame builder.
+func AppendUDP(dst []byte, h *UDP) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, h.SrcPort)
+	dst = binary.BigEndian.AppendUint16(dst, h.DstPort)
+	dst = binary.BigEndian.AppendUint16(dst, h.Length)
+	dst = append(dst, 0, 0) // checksum placeholder
+	return dst
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over data, starting
+// from the partial sum initial. The final fold and complement are applied.
+func Checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	for len(data) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[:2]))
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint32(data[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum returns the partial checksum of the IPv4 pseudo-header for
+// the given transport protocol and segment length.
+func pseudoHeaderSum(src, dst uint32, proto uint8, segLen int) uint32 {
+	var sum uint32
+	sum += src >> 16
+	sum += src & 0xffff
+	sum += dst >> 16
+	sum += dst & 0xffff
+	sum += uint32(proto)
+	sum += uint32(segLen)
+	return sum
+}

@@ -1,0 +1,236 @@
+// Package packet implements binary encoding and decoding for the protocol
+// layers Sonata queries reference: Ethernet, IPv4, IPv6, TCP, UDP, and DNS.
+//
+// The decoding design follows gopacket's DecodingLayerParser idiom: a Parser
+// owns preallocated layer structs and fills a Packet view in place, slicing
+// into the original buffer rather than copying, so the hot path performs no
+// allocation. Callers that retain a Packet beyond the lifetime of its buffer
+// must Clone it first.
+package packet
+
+import (
+	"fmt"
+
+	"repro/internal/fields"
+	"repro/internal/tuple"
+)
+
+// EtherType values understood by the parser.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeIPv6 = 0x86DD
+	EtherTypeARP  = 0x0806
+)
+
+// Layer flags recording which layers a parsed Packet contains.
+type LayerMask uint8
+
+const (
+	LayerEthernet LayerMask = 1 << iota
+	LayerIPv4
+	LayerIPv6
+	LayerTCP
+	LayerUDP
+	LayerDNS
+	LayerPayload
+)
+
+// Packet is a decoded view over one frame. All byte-slice fields alias the
+// buffer passed to Parse.
+type Packet struct {
+	Data    []byte // entire frame
+	Layers  LayerMask
+	Eth     Ethernet
+	IPv4    IPv4
+	IPv6    IPv6
+	TCP     TCP
+	UDP     UDP
+	DNS     DNS
+	Payload []byte // transport payload (aliases Data)
+}
+
+// Has reports whether the packet contains the given layer.
+func (p *Packet) Has(l LayerMask) bool { return p.Layers&l != 0 }
+
+// Reset clears the packet view for reuse without releasing DNS scratch
+// storage.
+func (p *Packet) Reset() {
+	p.Data = nil
+	p.Layers = 0
+	p.Payload = nil
+	p.DNS.reset()
+}
+
+// Clone returns a deep copy whose slices no longer alias the original buffer.
+// The parser always leaves Payload as the tail of the frame, so the clone
+// re-slices it from the copied buffer.
+func (p *Packet) Clone() *Packet {
+	c := *p
+	c.Data = append([]byte(nil), p.Data...)
+	if p.Payload != nil {
+		c.Payload = c.Data[len(c.Data)-len(p.Payload):]
+	}
+	c.DNS = p.DNS.clone()
+	return &c
+}
+
+// Field extracts the value of field f from the packet. The second return is
+// false when the packet does not carry the field (e.g. TCPFlags on a UDP
+// packet).
+func (p *Packet) Field(f fields.ID) (tuple.Value, bool) {
+	switch f {
+	case fields.EthSrc:
+		if !p.Has(LayerEthernet) {
+			return tuple.Value{}, false
+		}
+		return tuple.U64(macToU64(p.Eth.Src)), true
+	case fields.EthDst:
+		if !p.Has(LayerEthernet) {
+			return tuple.Value{}, false
+		}
+		return tuple.U64(macToU64(p.Eth.Dst)), true
+	case fields.EthType:
+		if !p.Has(LayerEthernet) {
+			return tuple.Value{}, false
+		}
+		return tuple.U64(uint64(p.Eth.Type)), true
+	case fields.SrcIP:
+		if !p.Has(LayerIPv4) {
+			return tuple.Value{}, false
+		}
+		return tuple.U64(uint64(p.IPv4.Src)), true
+	case fields.DstIP:
+		if !p.Has(LayerIPv4) {
+			return tuple.Value{}, false
+		}
+		return tuple.U64(uint64(p.IPv4.Dst)), true
+	case fields.SrcIPv6:
+		if !p.Has(LayerIPv6) {
+			return tuple.Value{}, false
+		}
+		return tuple.U64(p.IPv6.SrcHi), true
+	case fields.DstIPv6:
+		if !p.Has(LayerIPv6) {
+			return tuple.Value{}, false
+		}
+		return tuple.U64(p.IPv6.DstHi), true
+	case fields.Proto:
+		if p.Has(LayerIPv4) {
+			return tuple.U64(uint64(p.IPv4.Proto)), true
+		}
+		if p.Has(LayerIPv6) {
+			return tuple.U64(uint64(p.IPv6.NextHeader)), true
+		}
+		return tuple.Value{}, false
+	case fields.TTL:
+		if !p.Has(LayerIPv4) {
+			return tuple.Value{}, false
+		}
+		return tuple.U64(uint64(p.IPv4.TTL)), true
+	case fields.IPLen:
+		if !p.Has(LayerIPv4) {
+			return tuple.Value{}, false
+		}
+		return tuple.U64(uint64(p.IPv4.TotalLen)), true
+	case fields.IPID:
+		if !p.Has(LayerIPv4) {
+			return tuple.Value{}, false
+		}
+		return tuple.U64(uint64(p.IPv4.ID)), true
+	case fields.DSCP:
+		if !p.Has(LayerIPv4) {
+			return tuple.Value{}, false
+		}
+		return tuple.U64(uint64(p.IPv4.TOS)), true
+	case fields.SrcPort:
+		if p.Has(LayerTCP) {
+			return tuple.U64(uint64(p.TCP.SrcPort)), true
+		}
+		if p.Has(LayerUDP) {
+			return tuple.U64(uint64(p.UDP.SrcPort)), true
+		}
+		return tuple.Value{}, false
+	case fields.DstPort:
+		if p.Has(LayerTCP) {
+			return tuple.U64(uint64(p.TCP.DstPort)), true
+		}
+		if p.Has(LayerUDP) {
+			return tuple.U64(uint64(p.UDP.DstPort)), true
+		}
+		return tuple.Value{}, false
+	case fields.TCPFlags:
+		if !p.Has(LayerTCP) {
+			return tuple.Value{}, false
+		}
+		return tuple.U64(uint64(p.TCP.Flags)), true
+	case fields.TCPSeq:
+		if !p.Has(LayerTCP) {
+			return tuple.Value{}, false
+		}
+		return tuple.U64(uint64(p.TCP.Seq)), true
+	case fields.TCPAck:
+		if !p.Has(LayerTCP) {
+			return tuple.Value{}, false
+		}
+		return tuple.U64(uint64(p.TCP.Ack)), true
+	case fields.TCPWin:
+		if !p.Has(LayerTCP) {
+			return tuple.Value{}, false
+		}
+		return tuple.U64(uint64(p.TCP.Window)), true
+	case fields.PktLen:
+		return tuple.U64(uint64(len(p.Data))), true
+	case fields.PayloadLen:
+		return tuple.U64(uint64(len(p.Payload))), true
+	case fields.Payload:
+		if !p.Has(LayerPayload) {
+			return tuple.Value{}, false
+		}
+		return tuple.Str(string(p.Payload)), true
+	case fields.DNSQName:
+		if !p.Has(LayerDNS) || len(p.DNS.Questions) == 0 {
+			return tuple.Value{}, false
+		}
+		return tuple.Str(p.DNS.Questions[0].Name), true
+	case fields.DNSRRName:
+		if !p.Has(LayerDNS) || len(p.DNS.Answers) == 0 {
+			return tuple.Value{}, false
+		}
+		return tuple.Str(p.DNS.Answers[0].Name), true
+	case fields.DNSQType:
+		if !p.Has(LayerDNS) || len(p.DNS.Questions) == 0 {
+			return tuple.Value{}, false
+		}
+		return tuple.U64(uint64(p.DNS.Questions[0].Type)), true
+	case fields.DNSAnCount:
+		if !p.Has(LayerDNS) {
+			return tuple.Value{}, false
+		}
+		return tuple.U64(uint64(len(p.DNS.Answers))), true
+	case fields.DNSQR:
+		if !p.Has(LayerDNS) {
+			return tuple.Value{}, false
+		}
+		if p.DNS.Response {
+			return tuple.U64(1), true
+		}
+		return tuple.U64(0), true
+	default:
+		return tuple.Value{}, false
+	}
+}
+
+func macToU64(m [6]byte) uint64 {
+	return uint64(m[0])<<40 | uint64(m[1])<<32 | uint64(m[2])<<24 |
+		uint64(m[3])<<16 | uint64(m[4])<<8 | uint64(m[5])
+}
+
+// IPv4String formats a uint32 address value as dotted quad.
+func IPv4String(a uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// IPv4Addr builds a uint32 address from four octets.
+func IPv4Addr(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}

@@ -1,0 +1,259 @@
+package packet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/fields"
+)
+
+func tcpFrame(t *testing.T, spec FrameSpec) []byte {
+	t.Helper()
+	spec.Proto = 6
+	return BuildFrame(nil, &spec)
+}
+
+func TestBuildAndParseTCP(t *testing.T) {
+	frame := tcpFrame(t, FrameSpec{
+		SrcIP: IPv4Addr(10, 0, 0, 1), DstIP: IPv4Addr(192, 168, 1, 100),
+		SrcPort: 12345, DstPort: 80,
+		TCPFlags: fields.FlagSYN, Seq: 1000, Window: 4096,
+		Payload: []byte("hello"),
+	})
+	var pkt Packet
+	p := NewParser(ParserOptions{})
+	if err := p.Parse(frame, &pkt); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !pkt.Has(LayerEthernet) || !pkt.Has(LayerIPv4) || !pkt.Has(LayerTCP) {
+		t.Fatalf("layers = %b", pkt.Layers)
+	}
+	if pkt.IPv4.Src != IPv4Addr(10, 0, 0, 1) || pkt.IPv4.Dst != IPv4Addr(192, 168, 1, 100) {
+		t.Errorf("addresses = %s -> %s", IPv4String(pkt.IPv4.Src), IPv4String(pkt.IPv4.Dst))
+	}
+	if pkt.TCP.SrcPort != 12345 || pkt.TCP.DstPort != 80 {
+		t.Errorf("ports = %d -> %d", pkt.TCP.SrcPort, pkt.TCP.DstPort)
+	}
+	if pkt.TCP.Flags != fields.FlagSYN {
+		t.Errorf("flags = %#x", pkt.TCP.Flags)
+	}
+	if string(pkt.Payload) != "hello" {
+		t.Errorf("payload = %q", pkt.Payload)
+	}
+}
+
+func TestBuildAndParseUDP(t *testing.T) {
+	spec := FrameSpec{
+		SrcIP: IPv4Addr(1, 2, 3, 4), DstIP: IPv4Addr(5, 6, 7, 8),
+		Proto: 17, SrcPort: 500, DstPort: 9999,
+		Payload: []byte{0xde, 0xad},
+	}
+	frame := BuildFrame(nil, &spec)
+	var pkt Packet
+	if err := NewParser(ParserOptions{}).Parse(frame, &pkt); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !pkt.Has(LayerUDP) {
+		t.Fatal("UDP layer missing")
+	}
+	if pkt.UDP.Length != udpHeaderLen+2 {
+		t.Errorf("udp length = %d", pkt.UDP.Length)
+	}
+	if !bytes.Equal(pkt.Payload, []byte{0xde, 0xad}) {
+		t.Errorf("payload = %x", pkt.Payload)
+	}
+}
+
+func TestIPv4ChecksumValid(t *testing.T) {
+	frame := tcpFrame(t, FrameSpec{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4})
+	// Verify the IPv4 header checksums to zero when summed including the
+	// checksum field.
+	hdr := frame[ethernetHeaderLen : ethernetHeaderLen+20]
+	if got := Checksum(hdr, 0); got != 0 {
+		t.Errorf("ipv4 header checksum residue = %#x", got)
+	}
+}
+
+func TestTCPChecksumValid(t *testing.T) {
+	frame := tcpFrame(t, FrameSpec{
+		SrcIP: IPv4Addr(10, 0, 0, 1), DstIP: IPv4Addr(10, 0, 0, 2),
+		SrcPort: 1, DstPort: 2, Payload: []byte("odd"),
+	})
+	seg := frame[ethernetHeaderLen+20:]
+	src := binary.BigEndian.Uint32(frame[ethernetHeaderLen+12:])
+	dst := binary.BigEndian.Uint32(frame[ethernetHeaderLen+16:])
+	if got := Checksum(seg, pseudoHeaderSum(src, dst, 6, len(seg))); got != 0 {
+		t.Errorf("tcp checksum residue = %#x", got)
+	}
+}
+
+func TestPadGrowsFrame(t *testing.T) {
+	spec := FrameSpec{SrcIP: 1, DstIP: 2, Proto: 6, Pad: 200}
+	frame := BuildFrame(nil, &spec)
+	if len(frame) != 200 {
+		t.Errorf("frame length = %d, want 200", len(frame))
+	}
+	var pkt Packet
+	if err := NewParser(ParserOptions{}).Parse(frame, &pkt); err != nil {
+		t.Fatalf("Parse padded frame: %v", err)
+	}
+	// Padding must not leak into the transport payload.
+	if len(pkt.Payload) != 0 {
+		t.Errorf("payload leaked %d padding bytes", len(pkt.Payload))
+	}
+}
+
+func TestParseTruncatedHeaders(t *testing.T) {
+	full := tcpFrame(t, FrameSpec{SrcIP: 1, DstIP: 2})
+	var pkt Packet
+	p := NewParser(ParserOptions{})
+	for cut := 0; cut < len(full); cut++ {
+		err := p.Parse(full[:cut], &pkt)
+		// Truncations inside eth/ip/tcp headers must error; there is no
+		// payload so every cut is inside a header.
+		if err == nil {
+			t.Errorf("Parse accepted %d-byte truncation of %d-byte frame", cut, len(full))
+		}
+	}
+	if err := p.Parse(full, &pkt); err != nil {
+		t.Errorf("Parse rejected the full frame: %v", err)
+	}
+}
+
+func TestParseUnsupportedEtherType(t *testing.T) {
+	eth := Ethernet{Type: EtherTypeARP}
+	frame := AppendEthernet(nil, &eth)
+	frame = append(frame, 1, 2, 3)
+	var pkt Packet
+	err := NewParser(ParserOptions{}).Parse(frame, &pkt)
+	if !errors.Is(err, ErrUnsupportedLayer) {
+		t.Fatalf("err = %v, want ErrUnsupportedLayer", err)
+	}
+	if !pkt.Has(LayerEthernet) {
+		t.Error("ethernet layer should still be decoded")
+	}
+}
+
+func TestParseFragmentSkipsTransport(t *testing.T) {
+	// Hand-build a non-first fragment: FragOff != 0.
+	ip := IPv4{TotalLen: 20 + 4, TTL: 64, Proto: 6, Src: 1, Dst: 2, FragOff: 100}
+	eth := Ethernet{Type: EtherTypeIPv4}
+	frame := AppendEthernet(nil, &eth)
+	frame = AppendIPv4(frame, &ip)
+	frame = append(frame, 9, 9, 9, 9)
+	var pkt Packet
+	if err := NewParser(ParserOptions{}).Parse(frame, &pkt); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if pkt.Has(LayerTCP) {
+		t.Error("fragment should not decode a TCP layer")
+	}
+	if len(pkt.Payload) != 4 {
+		t.Errorf("fragment payload = %d bytes", len(pkt.Payload))
+	}
+}
+
+func TestParseIPv6(t *testing.T) {
+	ip6 := IPv6{NextHeader: 17, HopLimit: 64, SrcHi: 0x20010db8_00000001, DstHi: 0x20010db8_00000002, PayloadLen: udpHeaderLen}
+	eth := Ethernet{Type: EtherTypeIPv6}
+	frame := AppendEthernet(nil, &eth)
+	frame = AppendIPv6(frame, &ip6)
+	udp := UDP{SrcPort: 1, DstPort: 2, Length: udpHeaderLen}
+	frame = AppendUDP(frame, &udp)
+	var pkt Packet
+	if err := NewParser(ParserOptions{}).Parse(frame, &pkt); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !pkt.Has(LayerIPv6) || !pkt.Has(LayerUDP) {
+		t.Fatalf("layers = %b", pkt.Layers)
+	}
+	if v, ok := pkt.Field(fields.SrcIPv6); !ok || v.U != 0x20010db8_00000001 {
+		t.Errorf("SrcIPv6 field = %v, %v", v, ok)
+	}
+	if v, ok := pkt.Field(fields.Proto); !ok || v.U != 17 {
+		t.Errorf("Proto via IPv6 = %v, %v", v, ok)
+	}
+}
+
+func TestFieldExtraction(t *testing.T) {
+	frame := tcpFrame(t, FrameSpec{
+		SrcIP: IPv4Addr(10, 1, 2, 3), DstIP: IPv4Addr(172, 16, 0, 9),
+		SrcPort: 1111, DstPort: 23, TCPFlags: fields.FlagACK | fields.FlagPSH,
+		Payload: []byte("zorro says hi"),
+	})
+	var pkt Packet
+	if err := NewParser(ParserOptions{}).Parse(frame, &pkt); err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		f    fields.ID
+		want uint64
+	}{
+		{fields.SrcIP, uint64(IPv4Addr(10, 1, 2, 3))},
+		{fields.DstIP, uint64(IPv4Addr(172, 16, 0, 9))},
+		{fields.Proto, 6},
+		{fields.SrcPort, 1111},
+		{fields.DstPort, 23},
+		{fields.TCPFlags, uint64(fields.FlagACK | fields.FlagPSH)},
+		{fields.PktLen, uint64(len(frame))},
+		{fields.PayloadLen, 13},
+		{fields.TTL, 64},
+	}
+	for _, c := range checks {
+		v, ok := pkt.Field(c.f)
+		if !ok || v.U != c.want {
+			t.Errorf("Field(%v) = %v, %v; want %d", c.f, v, ok, c.want)
+		}
+	}
+	if v, ok := pkt.Field(fields.Payload); !ok || v.S != "zorro says hi" {
+		t.Errorf("Field(Payload) = %v, %v", v, ok)
+	}
+	// Fields from absent layers are reported missing.
+	if _, ok := pkt.Field(fields.DNSQName); ok {
+		t.Error("DNSQName present on non-DNS packet")
+	}
+	if _, ok := pkt.Field(fields.SrcIPv6); ok {
+		t.Error("SrcIPv6 present on IPv4 packet")
+	}
+}
+
+func TestFieldOnUDPPorts(t *testing.T) {
+	spec := FrameSpec{SrcIP: 1, DstIP: 2, Proto: 17, SrcPort: 53, DstPort: 3333}
+	var pkt Packet
+	if err := NewParser(ParserOptions{}).Parse(BuildFrame(nil, &spec), &pkt); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := pkt.Field(fields.SrcPort); v.U != 53 {
+		t.Errorf("SrcPort = %d", v.U)
+	}
+	if _, ok := pkt.Field(fields.TCPFlags); ok {
+		t.Error("TCPFlags present on UDP packet")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	frame := tcpFrame(t, FrameSpec{SrcIP: 1, DstIP: 2, Payload: []byte("data")})
+	var pkt Packet
+	if err := NewParser(ParserOptions{}).Parse(frame, &pkt); err != nil {
+		t.Fatal(err)
+	}
+	c := pkt.Clone()
+	frame[len(frame)-1] = 'X' // mutate original buffer
+	if string(c.Payload) != "data" {
+		t.Errorf("clone payload = %q after source mutation", c.Payload)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// RFC 1071 example-style check: verify residue of data plus its checksum.
+	data := []byte{0x01, 0x02, 0x03}
+	sum := Checksum(data, 0)
+	padded := append(append([]byte{}, data...), 0) // pad to even
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], sum)
+	if got := Checksum(append(padded, b[:]...), 0); got != 0 {
+		t.Errorf("odd-length checksum residue = %#x", got)
+	}
+}

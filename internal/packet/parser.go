@@ -1,0 +1,123 @@
+package packet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnsupportedLayer reports a frame whose next layer the parser does not
+// understand (e.g. ARP); the decoded prefix of the packet remains valid.
+var ErrUnsupportedLayer = errors.New("packet: unsupported layer")
+
+// ParserOptions control how deep the parser decodes.
+type ParserOptions struct {
+	// DecodeDNS enables DNS message parsing on UDP/TCP port 53 traffic.
+	// Deep parsing allocates (names are decompressed into strings), so the
+	// switch-side parser leaves it off and only the emitter/stream side
+	// enables it, mirroring the paper's split between switch parsing and
+	// stream-processor parsing.
+	DecodeDNS bool
+}
+
+// Parser decodes frames into Packet views. It is the analogue of gopacket's
+// DecodingLayerParser: one Parser owns the scratch state and may be reused
+// across packets; it is not safe for concurrent use.
+type Parser struct {
+	opts ParserOptions
+}
+
+// NewParser returns a Parser with the given options.
+func NewParser(opts ParserOptions) *Parser {
+	return &Parser{opts: opts}
+}
+
+// Parse decodes data into pkt. On ErrUnsupportedLayer the layers decoded so
+// far are valid and pkt.Payload holds the undecoded remainder. Any other
+// error means the frame is malformed.
+func (p *Parser) Parse(data []byte, pkt *Packet) error {
+	pkt.Reset()
+	pkt.Data = data
+
+	rest, err := DecodeEthernet(data, &pkt.Eth)
+	if err != nil {
+		return err
+	}
+	pkt.Layers |= LayerEthernet
+
+	var proto uint8
+	switch pkt.Eth.Type {
+	case EtherTypeIPv4:
+		rest, err = DecodeIPv4(rest, &pkt.IPv4)
+		if err != nil {
+			return err
+		}
+		pkt.Layers |= LayerIPv4
+		if pkt.IPv4.FragOff != 0 {
+			// Non-first fragments carry no transport header.
+			pkt.Payload = rest
+			if len(rest) > 0 {
+				pkt.Layers |= LayerPayload
+			}
+			return nil
+		}
+		proto = pkt.IPv4.Proto
+	case EtherTypeIPv6:
+		rest, err = DecodeIPv6(rest, &pkt.IPv6)
+		if err != nil {
+			return err
+		}
+		pkt.Layers |= LayerIPv6
+		proto = pkt.IPv6.NextHeader
+	default:
+		pkt.Payload = rest
+		if len(rest) > 0 {
+			pkt.Layers |= LayerPayload
+		}
+		return fmt.Errorf("%w: ethertype %#04x", ErrUnsupportedLayer, pkt.Eth.Type)
+	}
+
+	switch proto {
+	case 6: // TCP
+		rest, err = DecodeTCP(rest, &pkt.TCP)
+		if err != nil {
+			return err
+		}
+		pkt.Layers |= LayerTCP
+		pkt.Payload = rest
+	case 17: // UDP
+		rest, err = DecodeUDP(rest, &pkt.UDP)
+		if err != nil {
+			return err
+		}
+		pkt.Layers |= LayerUDP
+		pkt.Payload = rest
+	default:
+		pkt.Payload = rest
+		if len(rest) > 0 {
+			pkt.Layers |= LayerPayload
+		}
+		return nil
+	}
+	if len(pkt.Payload) > 0 {
+		pkt.Layers |= LayerPayload
+	}
+
+	if p.opts.DecodeDNS && len(pkt.Payload) >= dnsHeaderLen && isDNSPort(pkt) {
+		if err := DecodeDNS(pkt.Payload, &pkt.DNS); err == nil {
+			pkt.Layers |= LayerDNS
+		}
+		// A malformed DNS payload is not a malformed packet; queries simply
+		// see no DNS fields.
+	}
+	return nil
+}
+
+func isDNSPort(pkt *Packet) bool {
+	if pkt.Has(LayerUDP) {
+		return pkt.UDP.SrcPort == 53 || pkt.UDP.DstPort == 53
+	}
+	if pkt.Has(LayerTCP) {
+		return pkt.TCP.SrcPort == 53 || pkt.TCP.DstPort == 53
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+// Package pisa simulates a protocol-independent switch architecture (PISA)
+// switch: a programmable parser feeding a pipeline of match-action stages
+// with per-stage stateful actions and register memory, a metadata budget,
+// and a mirror port toward the stream processor.
+//
+// The simulator is parameterized by the same four resource constraints the
+// paper's query planner models (Section 3.2): number of stages S, stateful
+// actions per stage A, register bits per stage B, and PHV metadata bits M.
+// Figures 7 and 8 of the paper are produced against exactly this kind of
+// simulated switch.
+package pisa
+
+import "fmt"
+
+// Config holds the data-plane resource constraints.
+type Config struct {
+	// Stages is S: the number of physical match-action stages.
+	Stages int
+	// StatefulPerStage is A: stateful actions available per stage.
+	StatefulPerStage int
+	// StatelessPerStage bounds stateless actions per stage (PISA switches
+	// support 100-200; rarely binding but modeled for completeness).
+	StatelessPerStage int
+	// RegisterBitsPerStage is B: register memory per stage, in bits.
+	RegisterBitsPerStage int64
+	// MaxRegisterBitsPerOp bounds a single stateful operator's register
+	// allocation within a stage.
+	MaxRegisterBitsPerOp int64
+	// MetadataBits is M: the PHV budget available for query metadata.
+	MetadataBits int
+	// RegisterChains is d: how many hash-indexed register banks a stateful
+	// operator probes before shunting a colliding key to the stream
+	// processor (Section 3.1.3).
+	RegisterChains int
+}
+
+// DefaultConfig mirrors the paper's evaluation defaults (Section 6.1):
+// sixteen stages, eight stateful operators per stage, 8 Mb of register
+// memory per stage with a 4 Mb single-operator cap.
+func DefaultConfig() Config {
+	return Config{
+		Stages:               16,
+		StatefulPerStage:     8,
+		StatelessPerStage:    128,
+		RegisterBitsPerStage: 8 << 20, // 8 Mb
+		MaxRegisterBitsPerOp: 4 << 20, // 4 Mb
+		MetadataBits:         8 << 10, // 8 Kb
+		RegisterChains:       3,
+	}
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	if c.Stages <= 0 || c.StatefulPerStage < 0 || c.StatelessPerStage <= 0 {
+		return fmt.Errorf("pisa: bad stage configuration %+v", c)
+	}
+	if c.RegisterBitsPerStage < 0 || c.MaxRegisterBitsPerOp < 0 {
+		return fmt.Errorf("pisa: negative register memory")
+	}
+	if c.MetadataBits <= 0 {
+		return fmt.Errorf("pisa: no metadata budget")
+	}
+	if c.RegisterChains <= 0 {
+		return fmt.Errorf("pisa: need at least one register chain")
+	}
+	return nil
+}

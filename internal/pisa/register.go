@@ -1,0 +1,173 @@
+package pisa
+
+import (
+	"bytes"
+
+	"repro/internal/query"
+	"repro/internal/tuple"
+)
+
+// regSlot is one register entry. PISA registers are value arrays; Sonata
+// stores the key alongside the value to detect hash collisions
+// (Section 3.1.3). Keys are byte slices so the per-packet probe path never
+// allocates.
+type regSlot struct {
+	occupied bool
+	key      []byte
+	val      uint64
+}
+
+// RegisterBank models the sequence of d hash-indexed registers backing one
+// stateful operator: a key probes each register in order with an
+// independent hash; it is stored in the first register whose slot is empty
+// or already holds it; if all d slots collide, the update fails and the
+// packet must be shunted to the stream processor.
+type RegisterBank struct {
+	entries int
+	chains  [][]regSlot
+	seeds   []uint64
+	// keyVals remembers decoded key columns for the end-of-window dump.
+	keyVals map[string][]tuple.Value
+	// collisions counts failed updates this window.
+	collisions uint64
+	// stored counts keys currently held.
+	stored int
+}
+
+// NewRegisterBank allocates d chains of n slots each.
+func NewRegisterBank(n, d int) *RegisterBank {
+	if n <= 0 || d <= 0 {
+		panic("pisa: register bank must have positive entries and chains")
+	}
+	b := &RegisterBank{entries: n, chains: make([][]regSlot, d), seeds: make([]uint64, d),
+		keyVals: make(map[string][]tuple.Value)}
+	for i := range b.chains {
+		b.chains[i] = make([]regSlot, n)
+		// Distinct deterministic seeds per chain.
+		b.seeds[i] = 0x9E3779B97F4A7C15 * uint64(i+1)
+	}
+	return b
+}
+
+// fnv1a hashes key with a seed.
+func fnv1a(seed uint64, key []byte) uint64 {
+	h := seed ^ 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Update folds v into the slot for key using fn. The boolean reports
+// success; on failure (all d chains collide) the caller shunts the packet
+// to the stream processor. newKey reports first-touch of the key this
+// window — the signal used for one-packet-per-key reporting.
+func (b *RegisterBank) Update(key []byte, vals []tuple.Value, keyIdx []int, v uint64, fn query.AggFunc) (newVal uint64, newKey, ok bool) {
+	for c := range b.chains {
+		idx := fnv1a(b.seeds[c], key) % uint64(b.entries)
+		slot := &b.chains[c][idx]
+		if !slot.occupied {
+			slot.occupied = true
+			slot.key = append([]byte(nil), key...)
+			slot.val = v
+			b.stored++
+			// Key columns are materialized only on first insert, keeping the
+			// per-packet probe path allocation-free.
+			kv := make([]tuple.Value, len(keyIdx))
+			for i, j := range keyIdx {
+				kv[i] = vals[j]
+			}
+			b.keyVals[string(key)] = kv
+			return v, true, true
+		}
+		if bytes.Equal(slot.key, key) {
+			slot.val = fn.Apply(slot.val, v)
+			return slot.val, false, true
+		}
+	}
+	b.collisions++
+	return 0, false, false
+}
+
+// Lookup returns the current value for key, if stored.
+func (b *RegisterBank) Lookup(key []byte) (uint64, bool) {
+	for c := range b.chains {
+		idx := fnv1a(b.seeds[c], key) % uint64(b.entries)
+		slot := &b.chains[c][idx]
+		if slot.occupied && bytes.Equal(slot.key, key) {
+			return slot.val, true
+		}
+	}
+	return 0, false
+}
+
+// Dump returns every stored (key columns, value) pair — the end-of-window
+// register poll.
+func (b *RegisterBank) Dump() []DumpEntry {
+	out := make([]DumpEntry, 0, b.stored)
+	for c := range b.chains {
+		for i := range b.chains[c] {
+			slot := &b.chains[c][i]
+			if slot.occupied {
+				out = append(out, DumpEntry{KeyVals: b.keyVals[string(slot.key)], Val: slot.val})
+			}
+		}
+	}
+	return out
+}
+
+// Reset clears all slots for the next window and returns the collision
+// count of the closing window.
+func (b *RegisterBank) Reset() uint64 {
+	for c := range b.chains {
+		for i := range b.chains[c] {
+			b.chains[c][i] = regSlot{}
+		}
+	}
+	b.keyVals = make(map[string][]tuple.Value)
+	b.stored = 0
+	col := b.collisions
+	b.collisions = 0
+	return col
+}
+
+// Stored returns the number of keys currently held.
+func (b *RegisterBank) Stored() int { return b.stored }
+
+// Collisions returns the number of failed updates this window.
+func (b *RegisterBank) Collisions() uint64 { return b.collisions }
+
+// Bits returns the bank's register memory footprint for slots of the given
+// key and value widths.
+func (b *RegisterBank) Bits(keyBits, valBits int) int64 {
+	return int64(len(b.chains)) * int64(b.entries) * int64(keyBits+valBits)
+}
+
+// DumpEntry is one (key, aggregate) pair read from the registers.
+type DumpEntry struct {
+	KeyVals []tuple.Value
+	Val     uint64
+}
+
+// RegisterBits is the planner's sizing formula for a stateful operator:
+// d chains of n slots, each slot holding key and value.
+func RegisterBits(n, d, keyBits, valBits int) int64 {
+	return int64(d) * int64(n) * int64(keyBits+valBits)
+}
+
+// EntriesFor picks the register size n for an expected key count,
+// applying headroom and rounding to a power of two, mirroring how the
+// planner configures registers from training data. A floor of 256 slots
+// keeps operators whose traffic class was absent from training (zero
+// expected keys) from collapsing into immediate collisions when the
+// workload shifts — the paper sizes registers "to keep collision rates low
+// but still high enough to send a signal" (Section 3.3).
+func EntriesFor(expectedKeys uint64) int {
+	n := 256
+	target := expectedKeys + expectedKeys/2 + 16 // 1.5x headroom
+	for uint64(n) < target {
+		n <<= 1
+	}
+	return n
+}

@@ -1,0 +1,380 @@
+package pisa
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/compile"
+	"repro/internal/packet"
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/tuple"
+)
+
+// Mirror is one record sent from the switch's monitoring port toward the
+// emitter: either a per-packet report (a metadata tuple and/or the original
+// frame) or a collision-overflow shunt.
+type Mirror struct {
+	QID   uint16
+	Level uint8
+	Side  Side
+	// Overflow marks a packet shunted because its key collided in all d
+	// registers; the stream processor folds it into the stateful operator
+	// at MergeOp.
+	Overflow bool
+	MergeOp  int
+	// EntryOp is the dataflow op index where the stream processor resumes
+	// for non-overflow reports.
+	EntryOp int
+	// Vals is the metadata tuple at the partition point (nil when the
+	// pipeline was still packet-phase).
+	Vals []tuple.Value
+	// Packet is the original frame, present when the instance requested it
+	// or the pipeline was packet-phase.
+	Packet []byte
+}
+
+// RegDump is one aggregated (key, value) pair reported at window end.
+type RegDump struct {
+	QID     uint16
+	Level   uint8
+	Side    Side
+	MergeOp int
+	KeyVals []tuple.Value
+	Val     uint64
+}
+
+// WindowStats summarizes one window of switch activity.
+type WindowStats struct {
+	PacketsIn  uint64
+	Mirrored   uint64
+	Collisions uint64
+	DumpTuples uint64
+}
+
+// instState is the runtime state of one installed instance.
+type instState struct {
+	spec  *InstanceSpec
+	banks map[int]*RegisterBank // by table index
+	// dynRules holds the dynamic filter entries per table index.
+	dynRules map[int]map[string]struct{}
+	entry    compile.SPEntry
+	// valsScratch and keyScratch are per-packet buffers so the hot path
+	// does not allocate; mirrors may alias them (documented: callers must
+	// not retain Vals past the callback).
+	valsScratch []tuple.Value
+	keyScratch  []byte
+}
+
+// packetView pairs a parsed packet with its raw frame so mirrors can carry
+// the original bytes when the stream processor needs them.
+type packetView struct {
+	pkt   *packet.Packet
+	frame []byte
+}
+
+// Switch simulates the data plane: packets stream through every installed
+// instance's tables; reports leave via the mirror callback; registers dump
+// at window boundaries.
+type Switch struct {
+	cfg     Config
+	insts   []*instState
+	mirror  func(Mirror)
+	stats   WindowStats
+	parser  *packet.Parser
+	scratch packet.Packet
+	// tableUpdates counts dynamic filter entry updates (the refinement
+	// overhead micro-benchmark).
+	tableUpdates uint64
+}
+
+// NewSwitch validates and installs a program. The mirror callback receives
+// per-packet reports; it must not retain Vals or Packet beyond the call
+// unless it copies them.
+func NewSwitch(cfg Config, prog *Program, mirror func(Mirror)) (*Switch, error) {
+	if err := prog.Validate(cfg); err != nil {
+		return nil, err
+	}
+	if mirror == nil {
+		mirror = func(Mirror) {}
+	}
+	// The switch parser extracts headers only; deep (DNS/payload) parsing
+	// happens at the emitter/stream processor, as in the paper.
+	sw := &Switch{cfg: cfg, mirror: mirror, parser: packet.NewParser(packet.ParserOptions{})}
+	for _, spec := range prog.Instances {
+		st := &instState{spec: spec, banks: make(map[int]*RegisterBank),
+			dynRules: make(map[int]map[string]struct{})}
+		for t := 0; t < spec.CutAt; t++ {
+			tab := &spec.Tables[t]
+			if tab.Stateful {
+				n := spec.RegEntries[t]
+				if n <= 0 {
+					return nil, fmt.Errorf("pisa: %s table %d: no register entries", spec.Name(), t)
+				}
+				st.banks[t] = NewRegisterBank(n, cfg.RegisterChains)
+			}
+		}
+		cp := compile.Pipeline{Ops: spec.Ops, Tables: spec.Tables}
+		st.entry = cp.EntryFor(spec.CutAt)
+		sw.insts = append(sw.insts, st)
+	}
+	return sw, nil
+}
+
+// Config returns the switch's resource configuration.
+func (sw *Switch) Config() Config { return sw.cfg }
+
+// UpdateDynTable replaces the dynamic filter entries of the instance's
+// table implementing the given dataflow op. Entry keys use the same masked
+// encoding as stream.DynKeyFromValue. Returns the number of entries
+// written (for the update-overhead accounting).
+func (sw *Switch) UpdateDynTable(qid uint16, level uint8, side Side, opIdx int, keys []string) (int, error) {
+	for _, st := range sw.insts {
+		s := st.spec
+		if s.QID != qid || s.Level != level || s.Side != side {
+			continue
+		}
+		for t := 0; t < s.CutAt; t++ {
+			if s.Tables[t].Kind == compile.TableDynFilter && s.Tables[t].OpIdx == opIdx {
+				set := make(map[string]struct{}, len(keys))
+				for _, k := range keys {
+					set[k] = struct{}{}
+				}
+				st.dynRules[t] = set
+				sw.tableUpdates += uint64(len(keys))
+				return len(keys), nil
+			}
+		}
+		return 0, fmt.Errorf("pisa: %s has no dyn filter for op %d on the switch", s.Name(), opIdx)
+	}
+	return 0, fmt.Errorf("pisa: no instance q%d/r%d/s%d", qid, level, side)
+}
+
+// TableUpdates returns the cumulative count of dynamic filter entries
+// written.
+func (sw *Switch) TableUpdates() uint64 { return sw.tableUpdates }
+
+// Process parses one frame and runs it through every installed instance.
+// The packet is forwarded unmodified (Sonata only touches metadata); the
+// return value is the number of mirror reports generated. Malformed frames
+// are forwarded without telemetry processing, like any non-matching
+// traffic.
+func (sw *Switch) Process(frame []byte) int {
+	sw.stats.PacketsIn++
+	if err := sw.parser.Parse(frame, &sw.scratch); err != nil && !errors.Is(err, packet.ErrUnsupportedLayer) {
+		return 0
+	}
+	view := packetView{pkt: &sw.scratch, frame: frame}
+	reports := 0
+	for _, st := range sw.insts {
+		if sw.processInstance(st, &view) {
+			reports++
+		}
+	}
+	return reports
+}
+
+// processInstance walks one instance's switch-side tables. It returns true
+// if a mirror report was emitted.
+func (sw *Switch) processInstance(st *instState, pkt *packetView) bool {
+	spec := st.spec
+	if spec.CutAt == 0 {
+		// Nothing on the switch: mirror every packet (the All-SP plan).
+		sw.emit(Mirror{QID: spec.QID, Level: spec.Level, Side: spec.Side,
+			EntryOp: 0, Packet: pkt.frame})
+		return true
+	}
+
+	var vals []tuple.Value // metadata tuple once past the first map
+	inTuplePhase := false
+
+	for t := 0; t < spec.CutAt; t++ {
+		tab := &spec.Tables[t]
+		o := &spec.Ops[tab.OpIdx]
+		switch tab.Kind {
+		case compile.TableFilter:
+			if inTuplePhase {
+				for i := range o.Clauses {
+					if !o.Clauses[i].MatchTuple(vals) {
+						return false
+					}
+				}
+			} else {
+				for i := range o.Clauses {
+					if !o.Clauses[i].MatchPacket(pkt.pkt) {
+						return false
+					}
+				}
+			}
+		case compile.TableDynFilter:
+			rules := st.dynRules[t]
+			if len(rules) == 0 {
+				return false // not yet populated: finer level idle
+			}
+			v, ok := pkt.pkt.Field(o.DynKeyField)
+			if !ok {
+				return false
+			}
+			key := stream.DynKeyFromValue(o.DynKeyField, v, o.DynLevel)
+			if _, ok := rules[key]; !ok {
+				return false
+			}
+		case compile.TableMap:
+			out := st.valsScratch[:0]
+			if cap(out) < len(o.Cols) {
+				out = make([]tuple.Value, 0, 8)
+			}
+			if inTuplePhase {
+				// Tuple-phase maps may read vals while writing out; vals
+				// currently aliases the scratch only before the first map,
+				// so a fresh slice is needed when re-mapping.
+				fresh := make([]tuple.Value, len(o.Cols))
+				for i := range o.Cols {
+					fresh[i] = o.Cols[i].Expr.EvalTuple(vals)
+				}
+				vals = fresh
+			} else {
+				for i := range o.Cols {
+					v, ok := o.Cols[i].Expr.EvalPacket(pkt.pkt)
+					if !ok {
+						return false
+					}
+					out = append(out, v)
+				}
+				st.valsScratch = out[:0]
+				vals = out
+			}
+			inTuplePhase = true
+		case compile.TableHashIndex:
+			// Index computation is folded into the bank update below.
+		case compile.TableStateUpdate:
+			bank := st.banks[t]
+			st.keyScratch = tuple.AppendKey(st.keyScratch[:0], vals, o.KeyCols)
+			key := st.keyScratch
+			var inc uint64 = 1
+			if o.Kind == query.OpReduce {
+				inc = vals[o.ValCol].U
+			}
+			newVal, newKey, ok := bank.Update(key, vals, o.KeyCols, inc, statefulFunc(o))
+			if !ok {
+				// Collision overflow: shunt to the stream processor, which
+				// executes the stateful op itself for this packet.
+				sw.stats.Collisions++
+				m := Mirror{QID: spec.QID, Level: spec.Level, Side: spec.Side,
+					Overflow: true, MergeOp: tab.OpIdx, Vals: vals}
+				if spec.NeedsPacket {
+					m.Packet = pkt.frame
+				}
+				sw.emit(m)
+				return true
+			}
+			last := t == spec.CutAt-1
+			if last {
+				// One report per key via the end-of-window register dump;
+				// nothing per packet.
+				return false
+			}
+			// Mid-pipeline stateful table: distinct passes first
+			// occurrences through; reduce carries the running aggregate.
+			if o.Kind == query.OpDistinct {
+				if !newKey {
+					return false
+				}
+				vals = pickIdx(vals, o.KeyCols)
+			} else {
+				next := make([]tuple.Value, 0, len(o.KeyCols)+1)
+				for _, j := range o.KeyCols {
+					next = append(next, vals[j])
+				}
+				next = append(next, tuple.U64(newVal))
+				vals = next
+			}
+			if m := tab.MergedFilterOp; m >= 0 {
+				mo := &spec.Ops[m]
+				for i := range mo.Clauses {
+					if !mo.Clauses[i].MatchTuple(vals) {
+						return false
+					}
+				}
+			}
+		}
+	}
+
+	// Survived every switch table with a stateless tail: report.
+	m := Mirror{QID: spec.QID, Level: spec.Level, Side: spec.Side,
+		EntryOp: st.entry.StartOp}
+	if inTuplePhase {
+		m.Vals = vals
+	}
+	if !inTuplePhase || spec.NeedsPacket {
+		m.Packet = pkt.frame
+	}
+	sw.emit(m)
+	return true
+}
+
+func (sw *Switch) emit(m Mirror) {
+	sw.stats.Mirrored++
+	sw.mirror(m)
+}
+
+// statefulFunc returns the aggregation a stateful op applies on the switch.
+func statefulFunc(o *query.Op) query.AggFunc {
+	if o.Kind == query.OpDistinct {
+		return query.AggBitOr
+	}
+	return o.Func
+}
+
+// EndWindow dumps and resets every register bank, returning the aggregated
+// tuples (filtered by any merged threshold) and the closing window's stats.
+func (sw *Switch) EndWindow() ([]RegDump, WindowStats) {
+	var dumps []RegDump
+	for _, st := range sw.insts {
+		spec := st.spec
+		for t := 0; t < spec.CutAt; t++ {
+			bank := st.banks[t]
+			if bank == nil {
+				continue
+			}
+			tab := &spec.Tables[t]
+			last := t == spec.CutAt-1
+			if last {
+				for _, e := range bank.Dump() {
+					if m := tab.MergedFilterOp; m >= 0 && !dumpPasses(&spec.Ops[m], e) {
+						continue
+					}
+					dumps = append(dumps, RegDump{QID: spec.QID, Level: spec.Level,
+						Side: spec.Side, MergeOp: tab.OpIdx, KeyVals: e.KeyVals, Val: e.Val})
+				}
+			}
+			bank.Reset()
+		}
+	}
+	sw.stats.DumpTuples = uint64(len(dumps))
+	stats := sw.stats
+	sw.stats = WindowStats{}
+	return dumps, stats
+}
+
+// dumpPasses applies a merged threshold filter to a dump entry. The filter
+// compares the aggregate column, which sits after the keys.
+func dumpPasses(o *query.Op, e DumpEntry) bool {
+	vals := make([]tuple.Value, 0, len(e.KeyVals)+1)
+	vals = append(vals, e.KeyVals...)
+	vals = append(vals, tuple.U64(e.Val))
+	for i := range o.Clauses {
+		if !o.Clauses[i].MatchTuple(vals) {
+			return false
+		}
+	}
+	return true
+}
+
+func pickIdx(vals []tuple.Value, idx []int) []tuple.Value {
+	out := make([]tuple.Value, len(idx))
+	for i, j := range idx {
+		out[i] = vals[j]
+	}
+	return out
+}

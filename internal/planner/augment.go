@@ -1,0 +1,172 @@
+// Package planner implements Sonata's query planner: it augments queries
+// for dynamic refinement (Section 4.1), estimates per-table workload costs
+// from training traffic (Section 3.3), and chooses joint partitioning and
+// refinement plans under the switch's resource constraints (Sections 3.3
+// and 4.2), either with a greedy packing heuristic or with the ILP
+// formulation solved by the repo's branch-and-bound solver.
+package planner
+
+import (
+	"fmt"
+
+	"repro/internal/fields"
+	"repro/internal/query"
+)
+
+// LevelStar denotes "no previous level": the coarsest instance of a query
+// observes all traffic.
+const LevelStar = 0
+
+// DynTableName names the dynamic filter table installed at a refinement
+// level of a query: the runtime loads it with the keys the previous level
+// reported. Both the switch and the stream processor resolve the same name.
+func DynTableName(qid uint16, level int) string {
+	return fmt.Sprintf("q%d.r%d", qid, level)
+}
+
+// Thresholds carries the relaxed threshold values for one refinement level
+// of a query (Section 4.1: "relaxed threshold values for coarser refinement
+// levels that do not sacrifice accuracy").
+type Thresholds struct {
+	// Left / Right apply to the final filter of the corresponding pipeline;
+	// nil means "keep the original".
+	Left  *uint64
+	Right *uint64
+}
+
+// AugmentQuery builds the refinement-level instance of q per Figure 4:
+//
+//   - every map output naming the refinement key is masked to the level,
+//   - when prev != LevelStar, a dynamic filter on the key at the previous
+//     level is prepended to each packet-phase pipeline, and
+//   - final threshold filters are relaxed to the training-derived values.
+//
+// The returned query shares q's ID; the caller distinguishes instances by
+// level.
+func AugmentQuery(q *query.Query, key query.RefinementKey, prev, level int, th Thresholds) *query.Query {
+	aug := q.Clone()
+	maskPipeline(aug.Left, key, level)
+	relaxFinalFilter(aug.Left, th.Left)
+	if aug.HasJoin() {
+		maskPipeline(aug.Right, key, level)
+		relaxFinalFilter(aug.Right, th.Right)
+	}
+	if prev != LevelStar {
+		table := DynTableName(q.ID, level)
+		dyn := query.NewDynPacketFilter(table, key.Field, prev)
+		aug.Left.Ops = append([]query.Op{dyn}, aug.Left.Ops...)
+		if aug.HasJoin() {
+			dynR := query.NewDynPacketFilter(table, key.Field, prev)
+			aug.Right.Ops = append([]query.Op{dynR}, aug.Right.Ops...)
+		}
+	}
+	return aug
+}
+
+// maskPipeline rewrites every map column that extracts the refinement key
+// to mask it at the level. Masking to the key's maximum level is the
+// identity, so the finest instance keeps its original semantics.
+func maskPipeline(p *query.Pipeline, key query.RefinementKey, level int) {
+	if p == nil || level >= key.MaxLevel {
+		return
+	}
+	for i := range p.Ops {
+		o := &p.Ops[i]
+		if o.Kind != query.OpMap {
+			continue
+		}
+		for c := range o.Cols {
+			col := &o.Cols[c]
+			if col.Name != key.Field {
+				continue
+			}
+			if col.Expr.Kind == query.ExprMask {
+				// Already masked (shouldn't happen on originals); tighten.
+				if col.Expr.Level > level {
+					col.Expr.Level = level
+				}
+				continue
+			}
+			sub := col.Expr
+			col.Expr = query.Expr{Kind: query.ExprMask, Field: key.Field, Level: level, Sub: &sub}
+		}
+	}
+}
+
+// relaxFinalFilter lowers the final threshold filter of a pipeline to the
+// given value. Only a trailing filter whose clauses are Gt/Ge on numeric
+// columns qualifies; anything else is left alone. The relaxed value is the
+// minimum aggregate observed over satisfying keys, so the comparison
+// becomes >= — keeping a strict > would reject exactly the minimal key the
+// training run said must pass.
+func relaxFinalFilter(p *query.Pipeline, th *uint64) {
+	if p == nil || th == nil {
+		return
+	}
+	op := finalThresholdOp(p)
+	if op == nil {
+		return
+	}
+	for i := range op.Clauses {
+		op.Clauses[i].Cmp = query.CmpGe
+		op.Clauses[i].Arg.U = *th
+	}
+}
+
+// finalThresholdOp returns the pipeline's trailing threshold filter, or nil.
+func finalThresholdOp(p *query.Pipeline) *query.Op {
+	if p == nil || len(p.Ops) == 0 {
+		return nil
+	}
+	op := &p.Ops[len(p.Ops)-1]
+	if op.Kind != query.OpFilter || op.DynFilterTable != "" || op.PacketPhase() {
+		return nil
+	}
+	for i := range op.Clauses {
+		if c := op.Clauses[i].Cmp; c != query.CmpGt && c != query.CmpGe {
+			return nil
+		}
+		if op.Clauses[i].Arg.Str {
+			return nil
+		}
+	}
+	return op
+}
+
+// disableFinalFilter returns a copy of the pipeline with its trailing
+// threshold filter opened wide (>= 0), used during training to observe the
+// aggregate values that reach the filter.
+func disableFinalFilter(p *query.Pipeline) *query.Pipeline {
+	op := finalThresholdOp(p)
+	if op == nil {
+		return p
+	}
+	c := &query.Pipeline{Ops: append([]query.Op(nil), p.Ops...)}
+	last := c.Ops[len(c.Ops)-1].Clone()
+	for i := range last.Clauses {
+		last.Clauses[i].Cmp = query.CmpGe
+		last.Clauses[i].Arg.U = 0
+	}
+	c.Ops[len(c.Ops)-1] = *last
+	return c
+}
+
+// thresholdColumn returns the column index the pipeline's final threshold
+// filter tests (-1 when there is none).
+func thresholdColumn(p *query.Pipeline) int {
+	op := finalThresholdOp(p)
+	if op == nil || len(op.Clauses) == 0 {
+		return -1
+	}
+	return op.Clauses[0].Col
+}
+
+// keyColumnOf locates the refinement key column in the pipeline's final
+// schema (-1 when absent).
+func keyColumnOf(p *query.Pipeline, key fields.ID) int {
+	s := p.OutSchema()
+	if s == nil {
+		return -1
+	}
+	return s.Index(key)
+}

@@ -1,0 +1,716 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/pisa"
+	"repro/internal/query"
+)
+
+// Mode selects which telemetry system the planner emulates (Table 4). Each
+// mode constrains the plan space exactly as the paper emulates prior
+// systems by constraining the ILP.
+type Mode uint8
+
+const (
+	// ModeSonata is the full planner: joint partitioning and refinement.
+	ModeSonata Mode = iota
+	// ModeAllSP mirrors every packet to the stream processor (Gigascope,
+	// OpenSOC, NetQRE).
+	ModeAllSP
+	// ModeFilterDP executes only leading filter tables on the switch
+	// (EverFlow).
+	ModeFilterDP
+	// ModeMaxDP executes as many operators as fit on the switch but never
+	// refines (UnivMon, OpenSketch).
+	ModeMaxDP
+	// ModeFixRef refines through every level, one at a time (DREAM).
+	ModeFixRef
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSonata:
+		return "Sonata"
+	case ModeAllSP:
+		return "All-SP"
+	case ModeFilterDP:
+		return "Filter-DP"
+	case ModeMaxDP:
+		return "Max-DP"
+	case ModeFixRef:
+		return "Fix-REF"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Options configure planning.
+type Options struct {
+	Mode Mode
+	// MaxDelay is the default bound on refinement chain length, in windows
+	// (a query's own MaxDelay takes precedence when set).
+	MaxDelay int
+	// UseILP solves plan selection with the branch-and-bound ILP instead of
+	// the greedy packer; the greedy result seeds the incumbent either way.
+	UseILP bool
+	// ILPBudget bounds the ILP solve time (the paper capped Gurobi at 20
+	// minutes; the default here is 10 seconds).
+	ILPBudget time.Duration
+}
+
+// DefaultOptions returns the Sonata-mode defaults.
+func DefaultOptions() Options {
+	return Options{Mode: ModeSonata, MaxDelay: 4, ILPBudget: 10 * time.Second}
+}
+
+// InstancePlan is one (level, side) pipeline placed on the switch and
+// stream processor.
+type InstancePlan struct {
+	Side pisa.Side
+	Ops  []query.Op
+	Pipe compile.Pipeline
+	// Cut is the number of tables on the switch.
+	Cut int
+	// RegEntries sizes each stateful switch table's registers.
+	RegEntries []int
+}
+
+// LevelPlan is one refinement level of a query: the augmented query plus
+// the per-side partitioning.
+type LevelPlan struct {
+	Prev, Level int
+	Aug         *query.Query
+	Left        InstancePlan
+	Right       *InstancePlan // nil without join
+	// ExpectedN is the trained estimate of stream-processor tuples per
+	// window contributed by this level.
+	ExpectedN uint64
+}
+
+// QueryPlan is the complete plan for one query.
+type QueryPlan struct {
+	Query  *query.Query
+	Key    query.RefinementKey
+	Levels []LevelPlan
+}
+
+// Delay returns the detection delay in windows (|R| in the paper).
+func (qp *QueryPlan) Delay() int { return len(qp.Levels) }
+
+// ExpectedN sums the per-level trained tuple estimates.
+func (qp *QueryPlan) ExpectedN() uint64 {
+	var n uint64
+	for i := range qp.Levels {
+		n += qp.Levels[i].ExpectedN
+	}
+	return n
+}
+
+// Plan is the planner's output for the whole query set.
+type Plan struct {
+	Queries []*QueryPlan
+	Mode    Mode
+	// Program is the switch-side program realizing the plan, with stages
+	// assigned.
+	Program *pisa.Program
+}
+
+// ExpectedN sums the trained per-window tuple estimates across queries.
+func (p *Plan) ExpectedN() uint64 {
+	var n uint64
+	for _, qp := range p.Queries {
+		n += qp.ExpectedN()
+	}
+	return n
+}
+
+// candidate is one explorable plan for a single query: a refinement path
+// and per-edge cuts.
+type candidate struct {
+	path []int // levels, coarse to fine; empty prev handled implicitly
+	cuts [][2]int // per path element: {leftCut, rightCut}
+	cost uint64
+}
+
+// PlanQueries chooses partitioning and refinement plans for the trained
+// query set under the switch configuration.
+func PlanQueries(tr *TrainingResult, queries []*query.Query, cfg pisa.Config, opts Options) (*Plan, error) {
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = 4
+	}
+	sel := &selector{tr: tr, cfg: cfg, opts: opts}
+	for _, q := range queries {
+		qt, ok := tr.PerQuery[q.ID]
+		if !ok {
+			return nil, fmt.Errorf("planner: query %d (%s) was not trained", q.ID, q.Name)
+		}
+		cands := sel.candidatesFor(qt)
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("planner: no candidates for %q", q.Name)
+		}
+		sel.queries = append(sel.queries, qt)
+		sel.cands = append(sel.cands, cands)
+	}
+
+	choice := sel.greedy()
+	if opts.UseILP {
+		if ilpChoice, ok := sel.solveILP(choice); ok {
+			choice = ilpChoice
+		}
+	}
+	return sel.realize(choice)
+}
+
+// selector carries the plan-selection state.
+type selector struct {
+	tr      *TrainingResult
+	cfg     pisa.Config
+	opts    Options
+	queries []*QueryTraining
+	cands   [][]candidate
+}
+
+// candidatesFor enumerates the plan space of one query under the mode.
+func (s *selector) candidatesFor(qt *QueryTraining) []candidate {
+	switch s.opts.Mode {
+	case ModeAllSP:
+		return []candidate{s.allSPCandidate(qt)}
+	case ModeFilterDP:
+		return []candidate{s.filterDPCandidate(qt)}
+	case ModeMaxDP:
+		return s.pathCandidates(qt, [][]int{s.finestPath(qt)})
+	case ModeFixRef:
+		return s.pathCandidates(qt, [][]int{qt.Levels})
+	default:
+		return s.pathCandidates(qt, s.paths(qt))
+	}
+}
+
+// finestPath is the no-refinement path: the single finest level.
+func (s *selector) finestPath(qt *QueryTraining) []int {
+	return []int{qt.Levels[len(qt.Levels)-1]}
+}
+
+// paths enumerates monotone level chains ending at the finest level, with
+// length bounded by the query's delay budget.
+func (s *selector) paths(qt *QueryTraining) [][]int {
+	maxLen := s.opts.MaxDelay
+	if qt.Query.MaxDelay > 0 && qt.Query.MaxDelay < maxLen {
+		maxLen = qt.Query.MaxDelay
+	}
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	finest := qt.Levels[len(qt.Levels)-1]
+	inner := qt.Levels[:len(qt.Levels)-1]
+	var out [][]int
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		path := append(append([]int(nil), cur...), finest)
+		out = append(out, path)
+		if len(cur)+1 >= maxLen {
+			return
+		}
+		for i := start; i < len(inner); i++ {
+			rec(i+1, append(cur, inner[i]))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// allSPCandidate puts everything on the stream processor.
+func (s *selector) allSPCandidate(qt *QueryTraining) candidate {
+	finest := s.finestPath(qt)
+	c := candidate{path: finest, cuts: [][2]int{{0, 0}}}
+	c.cost = s.pathCost(qt, c)
+	return c
+}
+
+// filterDPCandidate cuts after the leading run of plain filter tables.
+func (s *selector) filterDPCandidate(qt *QueryTraining) candidate {
+	finest := s.finestPath(qt)
+	edge := qt.Edges[[2]int{LevelStar, finest[0]}]
+	cutOf := func(sc *SideCost) int {
+		if sc == nil {
+			return 0
+		}
+		cut := 0
+		for i, t := range sc.Pipe.Tables {
+			if t.Kind != compile.TableFilter || i >= sc.Pipe.CapPrefix {
+				break
+			}
+			cut = i + 1
+		}
+		return cut
+	}
+	c := candidate{path: finest, cuts: [][2]int{{cutOf(edge.Left), cutOf(edge.Right)}}}
+	c.cost = s.pathCost(qt, c)
+	return c
+}
+
+// pathCandidates expands each path into per-edge cut combinations. For each
+// edge, three cut tiers are considered: everything capability-allowed
+// ("max"), the stateless prefix only ("lean"), and nothing ("zero") — the
+// tiers trade stream-processor load against switch resources.
+func (s *selector) pathCandidates(qt *QueryTraining, paths [][]int) []candidate {
+	var out []candidate
+	seen := map[string]bool{}
+	for _, path := range paths {
+		tiers := make([][][2]int, len(path))
+		prev := LevelStar
+		for i, level := range path {
+			edge := qt.Edges[[2]int{prev, level}]
+			tiers[i] = cutTiers(edge)
+			prev = level
+		}
+		// Cartesian product of tiers, bounded: paths are short (<=4) and
+		// tiers per edge <=3, so at most 81 combos per path.
+		var rec func(i int, cuts [][2]int)
+		rec = func(i int, cuts [][2]int) {
+			if i == len(path) {
+				c := candidate{path: path, cuts: append([][2]int(nil), cuts...)}
+				c.cost = s.pathCost(qt, c)
+				sig := fmt.Sprint(c.path, c.cuts)
+				if !seen[sig] {
+					seen[sig] = true
+					out = append(out, c)
+				}
+				return
+			}
+			for _, t := range tiers[i] {
+				rec(i+1, append(cuts, t))
+			}
+		}
+		rec(0, nil)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].cost != out[j].cost {
+			return out[i].cost < out[j].cost
+		}
+		// Equal trained cost: prefer deeper cuts (more work on the switch).
+		// Training can only estimate the traffic it saw; when a class of
+		// traffic is absent from training, every cut costs zero and the
+		// deeper one is free insurance against workload drift.
+		return out[i].cutDepth() > out[j].cutDepth()
+	})
+	// Keep the search tractable: the cheapest few dozen candidates.
+	if len(out) > 48 {
+		out = out[:48]
+	}
+	return out
+}
+
+// cutDepth sums the candidate's cut positions across levels and sides.
+func (c *candidate) cutDepth() int {
+	d := 0
+	for _, cut := range c.cuts {
+		d += cut[0] + cut[1]
+	}
+	return d
+}
+
+// cutTiers returns the distinct {left, right} cut pairs worth considering
+// for one edge.
+func cutTiers(edge *EdgeProfile) [][2]int {
+	tiersOf := func(sc *SideCost) []int {
+		if sc == nil {
+			return []int{0}
+		}
+		max := maxCut(sc)
+		lean := statelessCut(sc)
+		set := []int{max}
+		if lean != max {
+			set = append(set, lean)
+		}
+		if lean != 0 && max != 0 {
+			set = append(set, 0)
+		}
+		return set
+	}
+	var out [][2]int
+	for _, l := range tiersOf(edge.Left) {
+		for _, r := range tiersOf(edge.Right) {
+			out = append(out, [2]int{l, r})
+		}
+	}
+	return out
+}
+
+// maxCut is the deepest valid cut (most work on the switch).
+func maxCut(sc *SideCost) int {
+	pts := sc.Pipe.ValidPartitionPoints()
+	return pts[len(pts)-1]
+}
+
+// statelessCut is the deepest valid cut that uses no stateful tables.
+func statelessCut(sc *SideCost) int {
+	cut := 0
+	for _, p := range sc.Pipe.ValidPartitionPoints() {
+		ok := true
+		for t := 0; t < p; t++ {
+			if sc.Pipe.Tables[t].Stateful {
+				ok = false
+				break
+			}
+		}
+		if ok && p > cut {
+			cut = p
+		}
+	}
+	return cut
+}
+
+// pathCost is the trained per-window tuple estimate of a candidate.
+func (s *selector) pathCost(qt *QueryTraining, c candidate) uint64 {
+	var total uint64
+	prev := LevelStar
+	for i, level := range c.path {
+		edge := qt.Edges[[2]int{prev, level}]
+		if !gateOnly(qt, c.path, i) {
+			total += sideN(edge.Left, c.cuts[i][0], s.cfg)
+		}
+		total += sideN(edge.Right, c.cuts[i][1], s.cfg)
+		prev = level
+	}
+	return total
+}
+
+// gateOnly reports whether level i of the path runs only the gating
+// sub-query. For join queries whose left side is the raw packet stream
+// (e.g. the Zorro payload query), coarse refinement levels exist solely to
+// zoom in via the aggregating sub-query; mirroring the packet-phase left
+// side there would ship payloads the stream processor cannot use yet. The
+// paper's case study behaves this way: payload processing starts only once
+// the victim is identified.
+func gateOnly(qt *QueryTraining, path []int, i int) bool {
+	if i == len(path)-1 || !qt.Query.HasJoin() {
+		return false
+	}
+	return qt.Query.Left.OutSchema() == nil
+}
+
+// sideN is the trained N for a cut plus the estimated register-overflow
+// traffic under the switch's per-op budget.
+func sideN(sc *SideCost, cut int, cfg pisa.Config) uint64 {
+	if sc == nil {
+		return 0
+	}
+	base := sc.NAtCut[0]
+	for i, p := range sc.Pipe.ValidPartitionPoints() {
+		if p == cut {
+			base = sc.NAtCut[i]
+			break
+		}
+	}
+	return base + overflowN(sc, cut, cfg)
+}
+
+// greedy packs candidates: start everything at All-SP-equivalent (always
+// feasible: zero switch resources) and repeatedly adopt the single swap
+// with the largest tuple saving that still packs onto the switch.
+func (s *selector) greedy() []int {
+	choice := make([]int, len(s.queries))
+	for qi := range choice {
+		choice[qi] = s.fallbackIndex(qi)
+	}
+	for {
+		bestQ, bestC := -1, -1
+		var bestGain int64
+		for qi := range s.queries {
+			cur := s.cands[qi][choice[qi]].cost
+			for ci := range s.cands[qi] {
+				if ci == choice[qi] {
+					continue
+				}
+				gain := int64(cur) - int64(s.cands[qi][ci].cost)
+				if gain <= bestGain {
+					continue
+				}
+				old := choice[qi]
+				choice[qi] = ci
+				if _, err := s.buildProgram(choice); err == nil {
+					bestQ, bestC, bestGain = qi, ci, gain
+				}
+				choice[qi] = old
+			}
+		}
+		if bestQ < 0 {
+			break
+		}
+		choice[bestQ] = bestC
+	}
+	// Final pass: within equal cost, move each query to the deepest-cut
+	// candidate that still packs (free robustness; see candidate ordering).
+	for qi := range s.queries {
+		cur := &s.cands[qi][choice[qi]]
+		for ci := range s.cands[qi] {
+			c := &s.cands[qi][ci]
+			if ci == choice[qi] || c.cost != cur.cost || c.cutDepth() <= cur.cutDepth() {
+				continue
+			}
+			old := choice[qi]
+			choice[qi] = ci
+			if _, err := s.buildProgram(choice); err != nil {
+				choice[qi] = old
+			} else {
+				cur = &s.cands[qi][choice[qi]]
+			}
+		}
+	}
+	return choice
+}
+
+// fallbackIndex finds (or appends) the all-zero-cut candidate, which is
+// feasible on any switch.
+func (s *selector) fallbackIndex(qi int) int {
+	for ci, c := range s.cands[qi] {
+		if len(c.path) == 1 && c.cuts[0] == [2]int{0, 0} {
+			return ci
+		}
+	}
+	s.cands[qi] = append(s.cands[qi], s.allSPCandidate(s.queries[qi]))
+	return len(s.cands[qi]) - 1
+}
+
+// realize converts a choice vector into the final plan with a validated
+// switch program.
+func (s *selector) realize(choice []int) (*Plan, error) {
+	prog, err := s.buildProgram(choice)
+	if err != nil {
+		return nil, fmt.Errorf("planner: chosen plan does not fit the switch: %w", err)
+	}
+	plan := &Plan{Mode: s.opts.Mode, Program: prog}
+	for qi, qt := range s.queries {
+		c := s.cands[qi][choice[qi]]
+		qp := &QueryPlan{Query: qt.Query, Key: qt.Key}
+		prev := LevelStar
+		for i, level := range c.path {
+			lp := s.levelPlan(qt, prev, level, c.cuts[i], gateOnly(qt, c.path, i))
+			qp.Levels = append(qp.Levels, lp)
+			prev = level
+		}
+		plan.Queries = append(plan.Queries, qp)
+	}
+	return plan, nil
+}
+
+// levelPlan builds one level's plan entry. Gate-only levels collapse the
+// join query to its aggregating sub-query: the level's sole job is to feed
+// the next level's dynamic filters.
+func (s *selector) levelPlan(qt *QueryTraining, prev, level int, cuts [2]int, gate bool) LevelPlan {
+	edge := qt.Edges[[2]int{prev, level}]
+	aug := qt.AugmentedAt(prev, level)
+	lp := LevelPlan{Prev: prev, Level: level, Aug: aug}
+	if gate {
+		lp.Aug = gateQuery(aug)
+		lp.Left = makeInstance(pisa.SideLeft, lp.Aug.Left.Ops, edge.Right, cuts[1], s.cfg)
+		lp.ExpectedN = sideN(edge.Right, cuts[1], s.cfg)
+		return lp
+	}
+	lp.Left = makeInstance(pisa.SideLeft, aug.Left.Ops, edge.Left, cuts[0], s.cfg)
+	lp.ExpectedN = sideN(edge.Left, cuts[0], s.cfg)
+	if edge.Right != nil {
+		r := makeInstance(pisa.SideRight, aug.Right.Ops, edge.Right, cuts[1], s.cfg)
+		lp.Right = &r
+		lp.ExpectedN += sideN(edge.Right, cuts[1], s.cfg)
+	}
+	return lp
+}
+
+// gateQuery rewrites a join query into a plain query over its right
+// (aggregating) sub-pipeline.
+func gateQuery(aug *query.Query) *query.Query {
+	return &query.Query{
+		ID: aug.ID, Name: aug.Name + "#gate", Window: aug.Window,
+		MaxDelay: aug.MaxDelay, Left: aug.Right,
+	}
+}
+
+func makeInstance(side pisa.Side, ops []query.Op, sc *SideCost, cut int, cfg pisa.Config) InstancePlan {
+	inst := InstancePlan{Side: side, Ops: ops, Pipe: compile.CompilePipeline(ops), Cut: cut}
+	inst.RegEntries = make([]int, len(inst.Pipe.Tables))
+	for t := range inst.Pipe.Tables {
+		if inst.Pipe.Tables[t].Stateful && t < cut {
+			tab := &inst.Pipe.Tables[t]
+			n := pisa.EntriesFor(sc.KeysAt[t])
+			if cap := maxEntries(cfg, tab.KeyBits, tab.ValBits); n > cap {
+				// Cap to the per-operator register budget: keys beyond
+				// capacity overflow to the stream processor per packet,
+				// which the cost model (overflowN) accounts for.
+				n = cap
+			}
+			inst.RegEntries[t] = n
+		}
+	}
+	return inst
+}
+
+// maxEntries is the largest power-of-two register size fitting the per-op
+// budget.
+func maxEntries(cfg pisa.Config, keyBits, valBits int) int {
+	n := 256
+	for pisa.RegisterBits(n*2, cfg.RegisterChains, keyBits, valBits) <= cfg.MaxRegisterBitsPerOp {
+		n *= 2
+	}
+	return n
+}
+
+// overflowN estimates the per-window packets shunted to the stream
+// processor when a stateful table's key population exceeds its capped
+// register capacity: the excess key fraction applied to the table's input
+// packet volume (Section 3.3's "additional packets processed by the stream
+// processor" term).
+func overflowN(sc *SideCost, cut int, cfg pisa.Config) uint64 {
+	var extra uint64
+	for t := 0; t < cut; t++ {
+		tab := &sc.Pipe.Tables[t]
+		if !tab.Stateful {
+			continue
+		}
+		keys := sc.KeysAt[t]
+		n := pisa.EntriesFor(keys)
+		cap := maxEntries(cfg, tab.KeyBits, tab.ValBits)
+		if n <= cap {
+			continue
+		}
+		// Effective capacity of d chained registers before collisions bite.
+		capacity := uint64(float64(cap*cfg.RegisterChains) * 0.7)
+		if keys <= capacity {
+			continue
+		}
+		inPkts := tableInputN(sc, t)
+		extra += (keys - capacity) * inPkts / keys
+	}
+	return extra
+}
+
+// tableInputN estimates the packets entering table t: the trained N at the
+// deepest valid cut at or before t.
+func tableInputN(sc *SideCost, t int) uint64 {
+	pts := sc.Pipe.ValidPartitionPoints()
+	best := sc.NAtCut[0]
+	for i, p := range pts {
+		if p <= t {
+			best = sc.NAtCut[i]
+		}
+	}
+	return best
+}
+
+// buildProgram materializes the switch program for a choice vector,
+// assigning stages first-fit, and validates it against the configuration.
+func (s *selector) buildProgram(choice []int) (*pisa.Program, error) {
+	prog := &pisa.Program{}
+	place := newPlacer(s.cfg)
+	for qi, qt := range s.queries {
+		c := s.cands[qi][choice[qi]]
+		prev := LevelStar
+		for i, level := range c.path {
+			edge := qt.Edges[[2]int{prev, level}]
+			aug := qt.AugmentedAt(prev, level)
+			if gateOnly(qt, c.path, i) {
+				// Gate-only level: the sub-query runs as the (only) left
+				// pipeline.
+				if err := s.placeSide(prog, place, qt, aug.Right.Ops, edge.Right, level, pisa.SideLeft, c.cuts[i][1]); err != nil {
+					return nil, err
+				}
+				prev = level
+				continue
+			}
+			if err := s.placeSide(prog, place, qt, aug.Left.Ops, edge.Left, level, pisa.SideLeft, c.cuts[i][0]); err != nil {
+				return nil, err
+			}
+			if edge.Right != nil {
+				if err := s.placeSide(prog, place, qt, aug.Right.Ops, edge.Right, level, pisa.SideRight, c.cuts[i][1]); err != nil {
+					return nil, err
+				}
+			}
+			prev = level
+		}
+	}
+	if err := prog.Validate(s.cfg); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (s *selector) placeSide(prog *pisa.Program, place *placer, qt *QueryTraining,
+	ops []query.Op, sc *SideCost, level int, side pisa.Side, cut int) error {
+	inst := makeInstance(side, ops, sc, cut, s.cfg)
+	spec := &pisa.InstanceSpec{
+		QID: qt.Query.ID, Level: uint8(level), Side: side,
+		Ops: inst.Ops, Tables: inst.Pipe.Tables, CutAt: cut,
+		RegEntries: inst.RegEntries,
+	}
+	stages, err := place.fit(spec)
+	if err != nil {
+		return err
+	}
+	spec.StageOf = stages
+	prog.Instances = append(prog.Instances, spec)
+	return nil
+}
+
+// placer assigns tables to stages first-fit under the per-stage limits.
+type placer struct {
+	cfg       Config
+	stateful  []int
+	stateless []int
+	bits      []int64
+}
+
+// Config aliases pisa.Config for the placer.
+type Config = pisa.Config
+
+func newPlacer(cfg Config) *placer {
+	return &placer{cfg: cfg,
+		stateful:  make([]int, cfg.Stages),
+		stateless: make([]int, cfg.Stages),
+		bits:      make([]int64, cfg.Stages)}
+}
+
+// fit places an instance's switch tables in strictly increasing stages.
+func (p *placer) fit(spec *pisa.InstanceSpec) ([]int, error) {
+	stages := make([]int, len(spec.Tables))
+	for i := range stages {
+		stages[i] = -1
+	}
+	next := 0
+	for t := 0; t < spec.CutAt; t++ {
+		tab := &spec.Tables[t]
+		placed := false
+		for st := next; st < p.cfg.Stages; st++ {
+			if tab.Stateful {
+				opBits := pisa.RegisterBits(spec.RegEntries[t], p.cfg.RegisterChains, tab.KeyBits, tab.ValBits)
+				if opBits > p.cfg.MaxRegisterBitsPerOp {
+					return nil, fmt.Errorf("planner: %s table %d needs %d bits, per-op cap %d",
+						spec.Name(), t, opBits, p.cfg.MaxRegisterBitsPerOp)
+				}
+				if p.stateful[st]+1 > p.cfg.StatefulPerStage || p.bits[st]+opBits > p.cfg.RegisterBitsPerStage {
+					continue
+				}
+				p.stateful[st]++
+				p.bits[st] += opBits
+			} else {
+				if p.stateless[st]+1 > p.cfg.StatelessPerStage {
+					continue
+				}
+				p.stateless[st]++
+			}
+			stages[t] = st
+			next = st + 1
+			placed = true
+			break
+		}
+		if !placed {
+			return nil, fmt.Errorf("planner: %s table %d does not fit in %d stages",
+				spec.Name(), t, p.cfg.Stages)
+		}
+	}
+	return stages, nil
+}

@@ -1,0 +1,287 @@
+// Package queries implements the eleven telemetry tasks of Table 3 in the
+// paper, expressed against Sonata's query builder. Thresholds are
+// parameterized so the evaluation can scale them with trace volume.
+package queries
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fields"
+	"repro/internal/query"
+)
+
+// Params holds the tunable thresholds (the Th, Th1, Th2 constants of the
+// paper's example queries) and the shared window size.
+type Params struct {
+	Window time.Duration
+
+	// NewTCPThresh is the per-host count of newly opened connections.
+	NewTCPThresh uint64
+	// SSHBruteThresh is the per-host count of distinct (source, packet
+	// length) SSH login attempts.
+	SSHBruteThresh uint64
+	// SpreaderThresh is the distinct-destination fanout of a superspreader.
+	SpreaderThresh uint64
+	// PortScanThresh is the distinct destination-port count of a scanner.
+	PortScanThresh uint64
+	// DDoSThresh is the distinct-source count aimed at one host.
+	DDoSThresh uint64
+	// SYNFloodThresh is the per-host excess of SYNs over SYN-ACKs.
+	SYNFloodThresh uint64
+	// IncompleteThresh is the per-host excess of SYNs over FINs.
+	IncompleteThresh uint64
+	// SlowlorisBytesThresh (Th1) is the minimum byte volume for a host to be
+	// considered, and SlowlorisRatioThresh (Th2) the scaled
+	// connections-per-byte threshold.
+	SlowlorisBytesThresh uint64
+	SlowlorisRatioThresh uint64
+	// SlowlorisScale rescales connections before the integer division.
+	SlowlorisScale uint64
+	// DNSTunnelThresh is the per-client count of distinct query names.
+	DNSTunnelThresh uint64
+	// ZorroTelnetThresh (Th1) is the count of similar-sized telnet packets,
+	// ZorroKeywordThresh (Th2) the count of keyword payloads.
+	ZorroTelnetThresh  uint64
+	ZorroKeywordThresh uint64
+	// ZorroLenBucket is the power-of-two bucket for "similar-sized" packets.
+	ZorroLenBucket uint64
+	// DNSReflectThresh is the distinct-resolver count of a reflection
+	// victim.
+	DNSReflectThresh uint64
+}
+
+// DefaultParams returns thresholds tuned for the synthetic workload's
+// default scale (about 10^5 background packets per 3-second window).
+func DefaultParams() Params {
+	return Params{
+		Window:               3 * time.Second,
+		NewTCPThresh:         120,
+		SSHBruteThresh:       30,
+		SpreaderThresh:       150,
+		PortScanThresh:       150,
+		DDoSThresh:           200,
+		SYNFloodThresh:       120,
+		IncompleteThresh:     100,
+		SlowlorisBytesThresh: 3000,
+		SlowlorisRatioThresh: 15, // conns*1000/bytes
+		SlowlorisScale:       1000,
+		DNSTunnelThresh:      80,
+		ZorroTelnetThresh:    50,
+		ZorroKeywordThresh:   1,
+		ZorroLenBucket:       64,
+		DNSReflectThresh:     120,
+	}
+}
+
+// NewlyOpenedTCPConns is Query 1 of the paper: hosts receiving more than
+// Th pure-SYN packets in a window.
+func NewlyOpenedTCPConns(p Params) *query.Query {
+	return query.NewBuilder("newly_opened_tcp_conns", p.Window).
+		Filter(query.Eq(fields.TCPFlags, fields.FlagSYN)).
+		Map(query.F(fields.DstIP), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.DstIP).
+		Filter(query.Gt(fields.AggVal, p.NewTCPThresh)).
+		MustBuild()
+}
+
+// SSHBruteForce detects hosts receiving many distinct (source, packet
+// length) pairs on the SSH port — the signature of distributed
+// password-guessing with fixed-size probes.
+func SSHBruteForce(p Params) *query.Query {
+	return query.NewBuilder("ssh_brute_force", p.Window).
+		Filter(query.Eq(fields.Proto, fields.ProtoTCP), query.Eq(fields.DstPort, 22)).
+		Map(query.F(fields.DstIP), query.RoundF(fields.PktLen, 4), query.F(fields.SrcIP)).
+		Distinct().
+		Map(query.C(fields.DstIP), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.DstIP).
+		Filter(query.Gt(fields.AggVal, p.SSHBruteThresh)).
+		MustBuild()
+}
+
+// Superspreader detects sources contacting many distinct destinations.
+func Superspreader(p Params) *query.Query {
+	return query.NewBuilder("superspreader", p.Window).
+		Map(query.F(fields.SrcIP), query.F(fields.DstIP)).
+		Distinct().
+		Map(query.C(fields.SrcIP), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.SrcIP).
+		Filter(query.Gt(fields.AggVal, p.SpreaderThresh)).
+		MustBuild()
+}
+
+// PortScan detects sources probing many distinct destination ports.
+func PortScan(p Params) *query.Query {
+	return query.NewBuilder("port_scan", p.Window).
+		Filter(query.Eq(fields.Proto, fields.ProtoTCP)).
+		Map(query.F(fields.SrcIP), query.F(fields.DstPort)).
+		Distinct().
+		Map(query.C(fields.SrcIP), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.SrcIP).
+		Filter(query.Gt(fields.AggVal, p.PortScanThresh)).
+		MustBuild()
+}
+
+// DDoS detects hosts receiving traffic from many distinct sources.
+func DDoS(p Params) *query.Query {
+	return query.NewBuilder("ddos", p.Window).
+		Map(query.F(fields.DstIP), query.F(fields.SrcIP)).
+		Distinct().
+		Map(query.C(fields.DstIP), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.DstIP).
+		Filter(query.Gt(fields.AggVal, p.DDoSThresh)).
+		MustBuild()
+}
+
+// TCPSYNFlood joins per-host SYN counts with per-host SYN-ACK responses and
+// reports hosts whose SYN excess passes the threshold. The SYN-ACK counter
+// keys on the responder (source) address renamed to the victim column.
+func TCPSYNFlood(p Params) *query.Query {
+	synAcks := query.NewBuilder("syn_acks", p.Window).
+		Filter(query.Eq(fields.TCPFlags, fields.FlagSYN|fields.FlagACK)).
+		Map(query.Named(fields.DstIP, query.F(fields.SrcIP)), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.DstIP)
+	return query.NewBuilder("tcp_syn_flood", p.Window).
+		Filter(query.Eq(fields.TCPFlags, fields.FlagSYN)).
+		Map(query.F(fields.DstIP), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.DstIP).
+		OuterJoin(synAcks, fields.DstIP).
+		Map(query.C(fields.DstIP), query.Diff(fields.AggVal, fields.AggVal2)).
+		Filter(query.Gt(fields.AggVal, p.SYNFloodThresh)).
+		MustBuild()
+}
+
+// TCPIncompleteFlows reports hosts with many more connection openings
+// (SYN) than completions (FIN).
+func TCPIncompleteFlows(p Params) *query.Query {
+	fins := query.NewBuilder("fins", p.Window).
+		Filter(query.MaskEq(fields.TCPFlags, fields.FlagFIN, fields.FlagFIN)).
+		Map(query.F(fields.DstIP), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.DstIP)
+	return query.NewBuilder("tcp_incomplete_flows", p.Window).
+		Filter(query.Eq(fields.TCPFlags, fields.FlagSYN)).
+		Map(query.F(fields.DstIP), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.DstIP).
+		OuterJoin(fins, fields.DstIP).
+		Map(query.C(fields.DstIP), query.Diff(fields.AggVal, fields.AggVal2)).
+		Filter(query.Gt(fields.AggVal, p.IncompleteThresh)).
+		MustBuild()
+}
+
+// SlowlorisAttacks is Query 2 of the paper: hosts with a high ratio of
+// connections to bytes. The left side counts distinct connections per host;
+// the right side sums bytes per host (thresholded at Th1); the join divides.
+func SlowlorisAttacks(p Params) *query.Query {
+	bytesPerHost := query.NewBuilder("bytes_per_host", p.Window).
+		Filter(query.Eq(fields.Proto, fields.ProtoTCP)).
+		Map(query.F(fields.DstIP), query.F(fields.PktLen)).
+		Reduce(query.AggSum, fields.DstIP).
+		Filter(query.Gt(fields.AggVal, p.SlowlorisBytesThresh))
+	return query.NewBuilder("slowloris_attacks", p.Window).
+		Filter(query.Eq(fields.Proto, fields.ProtoTCP)).
+		Map(query.F(fields.DstIP), query.F(fields.SrcIP), query.F(fields.SrcPort)).
+		Distinct().
+		Map(query.C(fields.DstIP), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.DstIP).
+		Join(bytesPerHost, fields.DstIP).
+		Map(query.C(fields.DstIP), query.Ratio(fields.AggVal, fields.AggVal2, p.SlowlorisScale)).
+		Filter(query.Gt(fields.AggVal, p.SlowlorisRatioThresh)).
+		MustBuild()
+}
+
+// DNSTunneling detects clients issuing many DNS queries with distinct
+// names; tunnels encode data in unique labels. Parsing the query name
+// requires the stream processor.
+func DNSTunneling(p Params) *query.Query {
+	return query.NewBuilder("dns_tunneling", p.Window).
+		Filter(query.Eq(fields.DNSQR, 0), query.Eq(fields.DstPort, 53)).
+		Map(query.F(fields.SrcIP), query.F(fields.DNSQName)).
+		Distinct().
+		Map(query.C(fields.SrcIP), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.SrcIP).
+		Filter(query.Gt(fields.AggVal, p.DNSTunnelThresh)).
+		MustBuild()
+}
+
+// ZorroAttack is Query 3 of the paper: hosts that receive more than Th1
+// similar-sized telnet packets and, among those, more than Th2 packets with
+// the "zorro" keyword in the payload.
+func ZorroAttack(p Params) *query.Query {
+	telnetVolume := query.NewBuilder("telnet_volume", p.Window).
+		Filter(query.Eq(fields.DstPort, 23)).
+		Map(query.F(fields.DstIP), query.RoundF(fields.PktLen, p.ZorroLenBucket), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.DstIP, fields.PktLen).
+		Filter(query.Gt(fields.AggVal, p.ZorroTelnetThresh))
+	return query.NewBuilder("zorro_attack", p.Window).
+		Filter(query.Eq(fields.DstPort, 23)).
+		Join(telnetVolume, fields.DstIP).
+		Filter(query.Contains(fields.Payload, "zorro")).
+		Map(query.F(fields.DstIP), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.DstIP).
+		Filter(query.Ge(fields.AggVal, p.ZorroKeywordThresh)).
+		MustBuild()
+}
+
+// DNSReflection detects hosts receiving DNS responses from many distinct
+// resolvers — the victim side of an amplification attack.
+func DNSReflection(p Params) *query.Query {
+	return query.NewBuilder("dns_reflection", p.Window).
+		Filter(query.Eq(fields.Proto, fields.ProtoUDP), query.Eq(fields.SrcPort, 53)).
+		Map(query.F(fields.DstIP), query.F(fields.SrcIP)).
+		Distinct().
+		Map(query.C(fields.DstIP), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.DstIP).
+		Filter(query.Gt(fields.AggVal, p.DNSReflectThresh)).
+		MustBuild()
+}
+
+// All returns the full Table 3 query set with IDs assigned in table order
+// (1-11).
+func All(p Params) []*query.Query {
+	qs := []*query.Query{
+		NewlyOpenedTCPConns(p),
+		SSHBruteForce(p),
+		Superspreader(p),
+		PortScan(p),
+		DDoS(p),
+		TCPSYNFlood(p),
+		TCPIncompleteFlows(p),
+		SlowlorisAttacks(p),
+		DNSTunneling(p),
+		ZorroAttack(p),
+		DNSReflection(p),
+	}
+	for i, q := range qs {
+		q.ID = uint16(i + 1)
+	}
+	return qs
+}
+
+// TopEight returns the eight header-only queries evaluated in Figures 7 and
+// 8 of the paper (those that process only layer-3/4 fields).
+func TopEight(p Params) []*query.Query {
+	qs := []*query.Query{
+		NewlyOpenedTCPConns(p),
+		SSHBruteForce(p),
+		Superspreader(p),
+		PortScan(p),
+		DDoS(p),
+		TCPSYNFlood(p),
+		TCPIncompleteFlows(p),
+		SlowlorisAttacks(p),
+	}
+	for i, q := range qs {
+		q.ID = uint16(i + 1)
+	}
+	return qs
+}
+
+// ByName returns the named query from the full set.
+func ByName(p Params, name string) (*query.Query, error) {
+	for _, q := range All(p) {
+		if q.Name == name {
+			return q, nil
+		}
+	}
+	return nil, fmt.Errorf("queries: no query named %q", name)
+}

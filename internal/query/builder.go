@@ -1,0 +1,434 @@
+package query
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"repro/internal/fields"
+	"repro/internal/tuple"
+)
+
+// Builder assembles a Query with a fluent API mirroring the paper's surface
+// syntax. Errors accumulate and are reported by Build, so call chains stay
+// uncluttered.
+type Builder struct {
+	name     string
+	window   time.Duration
+	maxDelay int
+
+	left  *pipeBuilder
+	right *pipeBuilder
+	post  *pipeBuilder
+	joinK []fields.ID
+	outer bool
+
+	cur  *pipeBuilder // where the next operator lands
+	errs []error
+}
+
+// pipeBuilder tracks one pipeline plus its evolving schema.
+type pipeBuilder struct {
+	ops    []Op
+	schema tuple.Schema // nil while in packet phase
+}
+
+// NewBuilder starts a query named name with window w.
+func NewBuilder(name string, w time.Duration) *Builder {
+	b := &Builder{name: name, window: w, left: &pipeBuilder{}}
+	b.cur = b.left
+	return b
+}
+
+// MaxDelay bounds the refinement chain length the planner may use for this
+// query (D_q, in windows).
+func (b *Builder) MaxDelay(windows int) *Builder {
+	b.maxDelay = windows
+	return b
+}
+
+func (b *Builder) errf(format string, args ...any) *Builder {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+	return b
+}
+
+// Filter appends a filter with the given conjunctive clauses. In packet
+// phase clauses reference packet fields; in tuple phase they reference
+// schema columns by field name.
+func (b *Builder) Filter(clauses ...Clause) *Builder {
+	if len(clauses) == 0 {
+		return b.errf("filter with no clauses")
+	}
+	p := b.cur
+	resolved := make([]Clause, len(clauses))
+	for i, cl := range clauses {
+		resolved[i] = cl
+		if p.schema == nil {
+			resolved[i].Col = -1
+			if !fields.Valid(cl.Field) {
+				return b.errf("filter clause %d references invalid field", i)
+			}
+		} else {
+			idx := p.schema.Index(cl.Field)
+			if idx < 0 {
+				return b.errf("filter clause %d references %s, not in schema %s", i, cl.Field, p.schema)
+			}
+			resolved[i].Col = idx
+		}
+	}
+	op := Op{Kind: OpFilter, Clauses: resolved, packetPhase: p.schema == nil,
+		inSchema: p.schema.Clone(), outSchema: p.schema.Clone()}
+	p.ops = append(p.ops, op)
+	return b
+}
+
+// Map appends a projection/transformation producing the given columns and
+// moves the pipeline into tuple phase.
+func (b *Builder) Map(cols ...Column) *Builder {
+	if len(cols) == 0 {
+		return b.errf("map with no columns")
+	}
+	p := b.cur
+	out := make(tuple.Schema, len(cols))
+	for i, c := range cols {
+		if !fields.Valid(c.Name) {
+			return b.errf("map column %d has invalid name", i)
+		}
+		if out[:i].Contains(c.Name) {
+			return b.errf("map column %d duplicates name %s", i, c.Name)
+		}
+		out[i] = c.Name
+		if err := b.checkExpr(&c.Expr, p.schema); err != nil {
+			return b.errf("map column %s: %v", c.Name, err)
+		}
+	}
+	resolved := b.resolveCols(cols, p.schema)
+	op := Op{Kind: OpMap, Cols: resolved, packetPhase: p.schema == nil,
+		inSchema: p.schema.Clone(), outSchema: out}
+	p.ops = append(p.ops, op)
+	p.schema = out
+	return b
+}
+
+// checkExpr validates expression references against the current phase.
+func (b *Builder) checkExpr(e *Expr, schema tuple.Schema) error {
+	switch e.Kind {
+	case ExprField:
+		if schema != nil {
+			return fmt.Errorf("field reference %s in tuple phase", e.Field)
+		}
+		if !fields.Valid(e.Field) {
+			return fmt.Errorf("invalid field")
+		}
+	case ExprCol:
+		if schema == nil {
+			return fmt.Errorf("column reference in packet phase")
+		}
+		if schema.Index(e.Field) < 0 {
+			return fmt.Errorf("column %s not in schema %s", e.Field, schema)
+		}
+	case ExprMask, ExprShiftRound:
+		if e.Sub == nil {
+			return fmt.Errorf("mask/round without operand")
+		}
+		return b.checkExpr(e.Sub, schema)
+	case ExprRatio, ExprDiff:
+		if schema == nil {
+			return fmt.Errorf("two-column arithmetic in packet phase")
+		}
+		if schema.Index(e.Field) < 0 || schema.Index(fields.ID(e.ColB)) < 0 {
+			// ColB carries the field ID pre-resolution; see resolveCols.
+			return fmt.Errorf("arithmetic operands not in schema %s", schema)
+		}
+	case ExprConst:
+	default:
+		return fmt.Errorf("unknown expression kind %d", e.Kind)
+	}
+	return nil
+}
+
+// resolveCols rewrites field-name references into column indices once the
+// schema is known.
+func (b *Builder) resolveCols(cols []Column, schema tuple.Schema) []Column {
+	out := make([]Column, len(cols))
+	for i, c := range cols {
+		out[i] = c
+		e := c.Expr
+		resolveExpr(&e, schema)
+		out[i].Expr = e
+	}
+	return out
+}
+
+func resolveExpr(e *Expr, schema tuple.Schema) {
+	switch e.Kind {
+	case ExprCol:
+		e.Col = schema.Index(e.Field)
+	case ExprMask, ExprShiftRound:
+		sub := *e.Sub
+		resolveExpr(&sub, schema)
+		e.Sub = &sub
+	case ExprRatio, ExprDiff:
+		e.Col = schema.Index(e.Field)
+		e.ColB = schema.Index(fields.ID(e.ColB))
+	}
+}
+
+// Reduce appends an aggregation grouped by the named key columns. The value
+// column is the single non-key column of the schema; its aggregate replaces
+// it under the name fields.AggVal.
+func (b *Builder) Reduce(f AggFunc, keys ...fields.ID) *Builder {
+	p := b.cur
+	if p.schema == nil {
+		return b.errf("reduce before map: no tuple schema yet")
+	}
+	if len(keys) == 0 {
+		return b.errf("reduce with no keys")
+	}
+	keyIdx := make([]int, len(keys))
+	for i, k := range keys {
+		idx := p.schema.Index(k)
+		if idx < 0 {
+			return b.errf("reduce key %s not in schema %s", k, p.schema)
+		}
+		keyIdx[i] = idx
+	}
+	valCol := -1
+	for i := range p.schema {
+		if !intsContain(keyIdx, i) {
+			if valCol >= 0 {
+				return b.errf("reduce: schema %s has multiple value columns", p.schema)
+			}
+			valCol = i
+		}
+	}
+	if valCol < 0 {
+		return b.errf("reduce: schema %s has no value column", p.schema)
+	}
+	out := make(tuple.Schema, 0, len(keys)+1)
+	out = append(out, keys...)
+	out = append(out, fields.AggVal)
+	op := Op{Kind: OpReduce, KeyCols: keyIdx, Func: f, ValCol: valCol,
+		inSchema: p.schema.Clone(), outSchema: out}
+	p.ops = append(p.ops, op)
+	p.schema = out
+	return b
+}
+
+// Distinct appends a duplicate-suppression operator over all current
+// columns.
+func (b *Builder) Distinct() *Builder {
+	p := b.cur
+	if p.schema == nil {
+		return b.errf("distinct before map: no tuple schema yet")
+	}
+	keyIdx := make([]int, len(p.schema))
+	for i := range keyIdx {
+		keyIdx[i] = i
+	}
+	op := Op{Kind: OpDistinct, KeyCols: keyIdx,
+		inSchema: p.schema.Clone(), outSchema: p.schema.Clone()}
+	p.ops = append(p.ops, op)
+	return b
+}
+
+// OuterJoin is Join with left-outer semantics: left tuples without a right
+// match join against zeros instead of being dropped.
+func (b *Builder) OuterJoin(sub *Builder, keys ...fields.ID) *Builder {
+	b.outer = true
+	return b.Join(sub, keys...)
+}
+
+// Join attaches sub as the right-hand side, equi-joined on the named keys.
+// Subsequent operators apply to the joined stream. The sub-builder's window
+// and name are ignored; only its pipeline is used.
+func (b *Builder) Join(sub *Builder, keys ...fields.ID) *Builder {
+	if b.right != nil {
+		return b.errf("query already has a join")
+	}
+	if len(keys) == 0 {
+		return b.errf("join with no keys")
+	}
+	if sub == nil || len(sub.left.ops) == 0 {
+		return b.errf("join with empty sub-query")
+	}
+	if sub.right != nil {
+		return b.errf("nested joins are not supported")
+	}
+	b.errs = append(b.errs, sub.errs...)
+	// The right side must be in tuple phase and expose every join key.
+	if sub.left.schema == nil {
+		return b.errf("join sub-query never produced tuples (missing map)")
+	}
+	for _, k := range keys {
+		if sub.left.schema.Index(k) < 0 {
+			return b.errf("join key %s not in sub-query schema %s", k, sub.left.schema)
+		}
+		if b.left.schema != nil && b.left.schema.Index(k) < 0 {
+			return b.errf("join key %s not in main schema %s", k, b.left.schema)
+		}
+		if b.left.schema == nil && !fields.Valid(k) {
+			return b.errf("join key invalid for packet-phase left side")
+		}
+	}
+	b.right = sub.left
+	b.joinK = keys
+
+	// Compute the post-join schema; a packet-phase left side stays in
+	// packet phase (the join acts as a semi-join filter on packets).
+	b.post = &pipeBuilder{}
+	if b.left.schema != nil {
+		q := &Query{Left: &Pipeline{Ops: b.left.ops}, Right: &Pipeline{Ops: b.right.ops}, JoinKeys: keys}
+		b.post.schema = q.joinedSchema()
+	}
+	b.cur = b.post
+	return b
+}
+
+// Build validates the accumulated pipeline and returns the query. The ID is
+// assigned by the caller (the planner namespaces queries).
+func (b *Builder) Build() (*Query, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("query %q: %w", b.name, b.errs[0])
+	}
+	if b.window <= 0 {
+		return nil, fmt.Errorf("query %q: non-positive window", b.name)
+	}
+	if len(b.left.ops) == 0 {
+		return nil, fmt.Errorf("query %q: empty pipeline", b.name)
+	}
+	q := &Query{
+		Name:   b.name,
+		Window: b.window,
+		Left:   &Pipeline{Ops: b.left.ops},
+	}
+	q.MaxDelay = b.maxDelay
+	if b.right != nil {
+		q.Right = &Pipeline{Ops: b.right.ops}
+		q.JoinKeys = b.joinK
+		q.JoinOuter = b.outer
+		q.Post = &Pipeline{Ops: b.post.ops}
+	}
+	return q, nil
+}
+
+// MustBuild is Build for statically-known queries; it panics on error.
+func (b *Builder) MustBuild() *Query {
+	q, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func intsContain(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Clause constructors ---
+
+// Eq matches field == v.
+func Eq(f fields.ID, v uint64) Clause { return Clause{Field: f, Cmp: CmpEq, Arg: tuple.U64(v)} }
+
+// EqStr matches a bytes field == s.
+func EqStr(f fields.ID, s string) Clause { return Clause{Field: f, Cmp: CmpEq, Arg: tuple.Str(s)} }
+
+// Ne matches field != v.
+func Ne(f fields.ID, v uint64) Clause { return Clause{Field: f, Cmp: CmpNe, Arg: tuple.U64(v)} }
+
+// Gt matches field > v.
+func Gt(f fields.ID, v uint64) Clause { return Clause{Field: f, Cmp: CmpGt, Arg: tuple.U64(v)} }
+
+// Ge matches field >= v.
+func Ge(f fields.ID, v uint64) Clause { return Clause{Field: f, Cmp: CmpGe, Arg: tuple.U64(v)} }
+
+// Lt matches field < v.
+func Lt(f fields.ID, v uint64) Clause { return Clause{Field: f, Cmp: CmpLt, Arg: tuple.U64(v)} }
+
+// Le matches field <= v.
+func Le(f fields.ID, v uint64) Clause { return Clause{Field: f, Cmp: CmpLe, Arg: tuple.U64(v)} }
+
+// MaskEq matches field & mask == v (flag tests).
+func MaskEq(f fields.ID, mask, v uint64) Clause {
+	return Clause{Field: f, Cmp: CmpMaskEq, Mask: mask, Arg: tuple.U64(v)}
+}
+
+// Contains matches a bytes field containing substring s.
+func Contains(f fields.ID, s string) Clause {
+	return Clause{Field: f, Cmp: CmpContains, Arg: tuple.Str(s)}
+}
+
+// --- Column constructors ---
+
+// F extracts packet field f into a column of the same name.
+func F(f fields.ID) Column {
+	return Column{Name: f, Expr: Expr{Kind: ExprField, Field: f}}
+}
+
+// C copies schema column f (tuple phase).
+func C(f fields.ID) Column {
+	return Column{Name: f, Expr: Expr{Kind: ExprCol, Field: f}}
+}
+
+// ConstCol produces the constant v under the name fields.ConstV (the usual
+// "map to (key, 1)" idiom).
+func ConstCol(v uint64) Column {
+	return Column{Name: fields.ConstV, Expr: Expr{Kind: ExprConst, Const: v}}
+}
+
+// RoundF extracts packet field f and buckets it by n (a power of two),
+// e.g. packet length rounded to 64-byte buckets.
+func RoundF(f fields.ID, n uint64) Column {
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("query: RoundF bucket %d is not a power of two", n))
+	}
+	return Column{Name: f, Expr: Expr{
+		Kind: ExprShiftRound, Shift: uint(bits.TrailingZeros64(n)),
+		Sub: &Expr{Kind: ExprField, Field: f},
+	}}
+}
+
+// MaskC truncates schema column f to refinement level level, keeping the
+// name.
+func MaskC(f fields.ID, level int) Column {
+	return Column{Name: f, Expr: Expr{
+		Kind: ExprMask, Field: f, Level: level,
+		Sub: &Expr{Kind: ExprCol, Field: f},
+	}}
+}
+
+// MaskF extracts packet field f truncated to refinement level level.
+func MaskF(f fields.ID, level int) Column {
+	return Column{Name: f, Expr: Expr{
+		Kind: ExprMask, Field: f, Level: level,
+		Sub: &Expr{Kind: ExprField, Field: f},
+	}}
+}
+
+// Ratio produces (a * scale) / b over two schema columns, named
+// fields.AggVal. Integer division makes small ratios vanish, so scale
+// rescales the numerator first (the paper's conns-per-byte uses this).
+func Ratio(a, b fields.ID, scale uint64) Column {
+	return Column{Name: fields.AggVal, Expr: Expr{
+		Kind: ExprRatio, Field: a, ColB: int(b), Const: scale,
+	}}
+}
+
+// Diff produces the saturating difference a - b over two schema columns,
+// named fields.AggVal (e.g. SYNs minus FINs per host).
+func Diff(a, b fields.ID) Column {
+	return Column{Name: fields.AggVal, Expr: Expr{
+		Kind: ExprDiff, Field: a, ColB: int(b),
+	}}
+}
+
+// Named renames a column constructor's output.
+func Named(name fields.ID, c Column) Column {
+	c.Name = name
+	return c
+}

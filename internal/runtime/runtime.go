@@ -1,0 +1,274 @@
+// Package runtime orchestrates one Sonata deployment: it installs the
+// planner's output on the switch simulator and the stream engine, drives
+// the per-window processing loop, applies dynamic-refinement filter updates
+// at window boundaries (Section 4), reconciles register dumps, and reports
+// the per-window load metrics the evaluation compares.
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/emitter"
+	"repro/internal/fields"
+	"repro/internal/pisa"
+	"repro/internal/planner"
+	"repro/internal/stream"
+	"repro/internal/tuple"
+)
+
+// WindowReport summarizes one processed window.
+type WindowReport struct {
+	Index int
+	// Results holds the finest-level outputs of every query — the answers
+	// the operator asked for.
+	Results []stream.Result
+	// AllResults includes every refinement level's outputs.
+	AllResults []stream.Result
+	// TuplesToSP is the number of tuples the stream processor ingested this
+	// window: the paper's headline metric.
+	TuplesToSP uint64
+	// PerQuery breaks the load down by (query, level) instance.
+	PerQuery map[stream.QueryKey]uint64
+	// Switch carries the data-plane counters.
+	Switch pisa.WindowStats
+	// FilterUpdates counts dynamic filter entries written at the window
+	// boundary, and UpdateDuration the wall time spent writing them — the
+	// refinement-overhead micro-benchmark of Section 6.2.
+	FilterUpdates  int
+	UpdateDuration time.Duration
+	// EmitterFrames / EmitterMalformed report the monitoring-port volume.
+	EmitterFrames    uint64
+	EmitterMalformed uint64
+}
+
+// Runtime binds a plan to executable components.
+type Runtime struct {
+	plan   *planner.Plan
+	cfg    pisa.Config
+	sw     *pisa.Switch
+	engine *stream.Engine
+	em     *emitter.Emitter
+	links  []link
+	finest map[uint16]uint8
+	window int
+	// collisionSum tracks cumulative collisions for the re-planning signal.
+	collisionSum uint64
+	packetsSum   uint64
+}
+
+type link struct {
+	qid    uint16
+	from   uint8
+	to     uint8
+	keyCol int
+	field  fields.ID // the refinement key
+}
+
+// New wires a runtime from a plan.
+func New(plan *planner.Plan, cfg pisa.Config) (*Runtime, error) {
+	dyn := stream.NewDynTables()
+	engine := stream.NewEngine(dyn)
+	em := emitter.New(engine)
+	sw, err := pisa.NewSwitch(cfg, plan.Program, em.HandleMirror)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: installing switch program: %w", err)
+	}
+	r := &Runtime{plan: plan, cfg: cfg, sw: sw, engine: engine, em: em,
+		finest: make(map[uint16]uint8)}
+
+	for _, qp := range plan.Queries {
+		for li, lp := range qp.Levels {
+			part := stream.Partition{
+				LeftStart:  entryOp(&lp.Left),
+				RightStart: 0,
+			}
+			if lp.Right != nil {
+				part.RightStart = entryOp(lp.Right)
+			}
+			if err := engine.Install(lp.Aug, uint8(lp.Level), part); err != nil {
+				return nil, fmt.Errorf("runtime: installing q%d level %d: %w", qp.Query.ID, lp.Level, err)
+			}
+			if li == len(qp.Levels)-1 {
+				r.finest[qp.Query.ID] = uint8(lp.Level)
+			}
+			if li+1 < len(qp.Levels) {
+				next := qp.Levels[li+1]
+				keyCol := lp.Aug.FinalSchema().Index(qp.Key.Field)
+				if keyCol < 0 {
+					return nil, fmt.Errorf("runtime: q%d level %d: refinement key %s missing from result schema %s",
+						qp.Query.ID, lp.Level, qp.Key.Field, lp.Aug.FinalSchema())
+				}
+				r.links = append(r.links, link{qid: qp.Query.ID,
+					from: uint8(lp.Level), to: uint8(next.Level),
+					keyCol: keyCol, field: qp.Key.Field})
+			}
+		}
+	}
+	return r, nil
+}
+
+// entryOp maps an instance plan's cut to the stream processor's resume op.
+func entryOp(inst *planner.InstancePlan) int {
+	return inst.Pipe.EntryFor(inst.Cut).StartOp
+}
+
+// Switch exposes the data plane (examples and tests inspect it).
+func (r *Runtime) Switch() *pisa.Switch { return r.sw }
+
+// Engine exposes the stream processor.
+func (r *Runtime) Engine() *stream.Engine { return r.engine }
+
+// Plan returns the installed plan.
+func (r *Runtime) Plan() *planner.Plan { return r.plan }
+
+// ProcessWindow pushes one window of frames through the data plane, closes
+// the window on both components, applies refinement updates for the next
+// window, and reports.
+func (r *Runtime) ProcessWindow(frames [][]byte) *WindowReport {
+	for _, f := range frames {
+		r.sw.Process(f)
+	}
+	return r.closeWindow()
+}
+
+// Process pushes a single frame (streaming use; pair with CloseWindow).
+func (r *Runtime) Process(frame []byte) { r.sw.Process(frame) }
+
+// CloseWindow ends the current window explicitly.
+func (r *Runtime) CloseWindow() *WindowReport { return r.closeWindow() }
+
+func (r *Runtime) closeWindow() *WindowReport {
+	dumps, stats := r.sw.EndWindow()
+	r.em.HandleDumps(dumps)
+	results, metrics := r.engine.EndWindow()
+	// Register dumps become tuples at the stream processor; count them into
+	// the headline metric like any other delivered tuple.
+	rep := &WindowReport{
+		Index:      r.window,
+		AllResults: results,
+		TuplesToSP: metrics.TuplesIn,
+		PerQuery:   metrics.PerQuery,
+		Switch:     stats,
+	}
+	r.window++
+	r.collisionSum += stats.Collisions
+	r.packetsSum += stats.PacketsIn
+	rep.EmitterFrames, rep.EmitterMalformed = r.em.WindowStats()
+
+	for _, res := range results {
+		if r.finest[res.QID] == res.Level {
+			rep.Results = append(rep.Results, res)
+		}
+	}
+
+	// Dynamic refinement: level From's results gate level To next window.
+	start := time.Now()
+	for _, l := range r.links {
+		keys := r.refinedKeys(results, l)
+		table := planner.DynTableName(l.qid, int(l.to))
+		r.engine.Dyn().Replace(table, keys)
+		for _, side := range []pisa.Side{pisa.SideLeft, pisa.SideRight} {
+			// Op 0 is the dynamic filter by construction of AugmentQuery;
+			// instances whose cut keeps the filter at the stream processor
+			// reject the update, which is expected.
+			if n, err := r.sw.UpdateDynTable(l.qid, l.to, side, 0, keys); err == nil {
+				rep.FilterUpdates += n
+			}
+		}
+		rep.FilterUpdates += len(keys) // the SP-side table update
+	}
+	rep.UpdateDuration = time.Since(start)
+	return rep
+}
+
+// refinedKeys extracts the dyn-table keys from one level's results. For
+// join queries the gate is the intersection of the sub-queries' outputs
+// (the paper's Section 4.1: "their output at coarser levels determines
+// which portion of traffic to process for the finer levels") — the final
+// post-join condition (e.g. a payload keyword) must not gate refinement, or
+// the victim would never be zoomed in on.
+func (r *Runtime) refinedKeys(results []stream.Result, l link) []string {
+	var keys []string
+	for i := range results {
+		res := &results[i]
+		if res.QID != l.qid || res.Level != l.from {
+			continue
+		}
+		if res.RightOutputs == nil && res.LeftOutputs == nil {
+			for _, t := range res.Tuples {
+				if l.keyCol < len(t) {
+					keys = append(keys, stream.DynKeyFromValue(l.field, t[l.keyCol], int(l.from)))
+				}
+			}
+			continue
+		}
+		right := sideKeySet(res.RightOutputs, res.RightSchema, l.field, int(l.from))
+		left := sideKeySet(res.LeftOutputs, res.LeftSchema, l.field, int(l.from))
+		switch {
+		case left == nil:
+			for k := range right {
+				keys = append(keys, k)
+			}
+		case right == nil:
+			for k := range left {
+				keys = append(keys, k)
+			}
+		default:
+			for k := range right {
+				if _, ok := left[k]; ok {
+					keys = append(keys, k)
+				}
+			}
+		}
+	}
+	return keys
+}
+
+// sideKeySet collects a sub-pipeline's refinement keys; nil when the side
+// has no outputs/schema (packet-phase left sides).
+func sideKeySet(outs [][]tuple.Value, schema tuple.Schema, f fields.ID, level int) map[string]struct{} {
+	if outs == nil || schema == nil {
+		return nil
+	}
+	col := schema.Index(f)
+	if col < 0 {
+		return nil
+	}
+	set := make(map[string]struct{}, len(outs))
+	for _, t := range outs {
+		if col < len(t) {
+			set[stream.DynKeyFromValue(f, t[col], level)] = struct{}{}
+		}
+	}
+	return set
+}
+
+// CollisionRate returns the cumulative fraction of packets whose stateful
+// updates overflowed the registers — the signal that triggers re-planning
+// when traffic drifts from the training data (Section 3.3).
+func (r *Runtime) CollisionRate() float64 {
+	if r.packetsSum == 0 {
+		return 0
+	}
+	return float64(r.collisionSum) / float64(r.packetsSum)
+}
+
+// NeedsReplan reports whether the collision rate passed the threshold.
+func (r *Runtime) NeedsReplan(threshold float64) bool {
+	return r.CollisionRate() > threshold
+}
+
+// EntrySummary describes where each installed instance was cut, for logs
+// and the DESIGN.md-style plan dumps in the examples.
+func (r *Runtime) EntrySummary() []string {
+	var out []string
+	for _, qp := range r.plan.Queries {
+		for _, lp := range qp.Levels {
+			out = append(out, fmt.Sprintf("q%-2d %-24s level /%-2d cut=%d/%d spEntry=op%d expectedN=%d",
+				qp.Query.ID, qp.Query.Name, lp.Level, lp.Left.Cut,
+				len(lp.Left.Pipe.Tables), entryOp(&lp.Left), lp.ExpectedN))
+		}
+	}
+	return out
+}

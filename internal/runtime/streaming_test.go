@@ -1,0 +1,43 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/pisa"
+	"repro/internal/planner"
+	"repro/internal/query"
+)
+
+// TestStreamingAPIMatchesBatch checks that feeding frames one at a time via
+// Process + CloseWindow produces the same report as ProcessWindow — the
+// runtime must not care how the window's packets arrive.
+func TestStreamingAPIMatchesBatch(t *testing.T) {
+	g, train := buildWorkload(t, 4000, 4)
+	plan := planFor(t, []*query.Query{q1(100)}, train, pisa.DefaultConfig(), planner.ModeSonata)
+
+	batch, err := New(plan, pisa.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streaming, err := New(plan, pisa.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 2; w < g.Windows(); w++ {
+		frames := framesOf(g.WindowRecords(w))
+		repA := batch.ProcessWindow(frames)
+		for _, f := range frames {
+			streaming.Process(f)
+		}
+		repB := streaming.CloseWindow()
+		if repA.TuplesToSP != repB.TuplesToSP {
+			t.Errorf("window %d: tuples %d vs %d", w, repA.TuplesToSP, repB.TuplesToSP)
+		}
+		if len(repA.Results) != len(repB.Results) {
+			t.Errorf("window %d: results %d vs %d", w, len(repA.Results), len(repB.Results))
+		}
+		if repA.Switch.PacketsIn != repB.Switch.PacketsIn {
+			t.Errorf("window %d: packets %d vs %d", w, repA.Switch.PacketsIn, repB.Switch.PacketsIn)
+		}
+	}
+}

@@ -1,0 +1,426 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fields"
+	"repro/internal/packet"
+	"repro/internal/query"
+	"repro/internal/tuple"
+)
+
+// Side distinguishes the two pipelines of a join query.
+type Side uint8
+
+const (
+	// SideLeft is the main pipeline.
+	SideLeft Side = iota
+	// SideRight is the joined sub-query.
+	SideRight
+)
+
+// Partition records where the planner cut each pipeline: ops with index
+// below the start ran on the switch; the stream processor resumes there.
+type Partition struct {
+	LeftStart  int
+	RightStart int
+}
+
+// Result is one query's output for one window at one refinement level.
+type Result struct {
+	QID    uint16
+	Level  uint8
+	Schema tuple.Schema
+	Tuples [][]tuple.Value
+	// LeftOutputs / RightOutputs are the sub-pipeline outputs of a join
+	// query before the join (nil for non-join queries). Dynamic refinement
+	// gates on these: the paper's case study identifies the victim from the
+	// telnet-volume sub-query before the payload condition ever fires.
+	LeftOutputs  [][]tuple.Value
+	RightOutputs [][]tuple.Value
+	LeftSchema   tuple.Schema
+	RightSchema  tuple.Schema
+}
+
+// QueryKey identifies one installed (query, refinement level) instance.
+type QueryKey struct {
+	QID   uint16
+	Level uint8
+}
+
+// Metrics counts the load placed on the stream processor, the paper's
+// headline comparison metric.
+type Metrics struct {
+	// TuplesIn is the number of tuples (or mirrored packets) the stream
+	// processor ingested this window.
+	TuplesIn uint64
+	// PerQuery breaks TuplesIn down by query instance.
+	PerQuery map[QueryKey]uint64
+}
+
+// joinItem is a buffered left-side record of a packet-phase join awaiting
+// the right side's window output.
+type joinItem struct {
+	key  string
+	vals []tuple.Value
+}
+
+// runningQuery is the executable state of one installed query instance.
+type runningQuery struct {
+	q    *query.Query
+	key  QueryKey
+	part Partition
+
+	left  *pipeExec
+	right *pipeExec // nil without join
+	post  *pipeExec // nil without join
+
+	// Packet-phase-left join support: prePacketOps run at ingest (left ops
+	// plus post's packet-phase filters); postMap is post's first map;
+	// pending buffers mapped tuples keyed by join key.
+	packetLeft  bool
+	prePacket   *pipeExec
+	postMapIdx  int // index of the map within Post.Ops; -1 if none
+	pending     []joinItem
+	joinKeyIdxL []int // join key columns in left output schema (tuple-left)
+	rightKeyIdx []int // join key columns in right output schema
+}
+
+// Engine hosts the installed query instances and processes one window at a
+// time. It is not safe for concurrent use; the runtime serializes access
+// (ingest happens on the emitter path, EndWindow on the window boundary).
+type Engine struct {
+	dyn     *DynTables
+	queries map[QueryKey]*runningQuery
+	order   []QueryKey
+	metrics Metrics
+}
+
+// NewEngine returns an engine sharing the given dynamic filter tables with
+// the runtime.
+func NewEngine(dyn *DynTables) *Engine {
+	if dyn == nil {
+		dyn = NewDynTables()
+	}
+	return &Engine{dyn: dyn, queries: make(map[QueryKey]*runningQuery),
+		metrics: Metrics{PerQuery: make(map[QueryKey]uint64)}}
+}
+
+// Dyn exposes the dynamic filter tables (the runtime installs refinement
+// outputs through it).
+func (e *Engine) Dyn() *DynTables { return e.dyn }
+
+// Install registers a query instance at the given refinement level with the
+// given partition. Installing the same (QID, Level) twice replaces the
+// previous instance.
+func (e *Engine) Install(q *query.Query, level uint8, part Partition) error {
+	if err := query.Validate(q); err != nil {
+		return err
+	}
+	if part.LeftStart < 0 || part.LeftStart > len(q.Left.Ops) {
+		return fmt.Errorf("stream: left partition %d out of range", part.LeftStart)
+	}
+	rq := &runningQuery{
+		q: q, key: QueryKey{q.ID, level}, part: part,
+		left: newPipeExec(q.Left.Ops, part.LeftStart, e.dyn),
+	}
+	if q.HasJoin() {
+		if part.RightStart < 0 || part.RightStart > len(q.Right.Ops) {
+			return fmt.Errorf("stream: right partition %d out of range", part.RightStart)
+		}
+		rq.right = newPipeExec(q.Right.Ops, part.RightStart, e.dyn)
+		rq.post = newPipeExec(q.Post.Ops, 0, e.dyn)
+		rs := q.Right.OutSchema()
+		for _, k := range q.JoinKeys {
+			rq.rightKeyIdx = append(rq.rightKeyIdx, rs.Index(k))
+		}
+		if ls := q.Left.OutSchema(); ls != nil {
+			for _, k := range q.JoinKeys {
+				rq.joinKeyIdxL = append(rq.joinKeyIdxL, ls.Index(k))
+			}
+		} else {
+			rq.packetLeft = true
+			rq.postMapIdx = -1
+			// Build the pre-packet executor: left ops plus post's
+			// packet-phase filter prefix (they commute with the semi-join).
+			pre := append([]query.Op(nil), q.Left.Ops...)
+			for i := range q.Post.Ops {
+				o := &q.Post.Ops[i]
+				if o.Kind == query.OpMap {
+					rq.postMapIdx = i
+					break
+				}
+				if !o.PacketPhase() || o.Kind != query.OpFilter {
+					return fmt.Errorf("stream: unsupported post-join op %v before map", o.Kind)
+				}
+				pre = append(pre, *o)
+			}
+			rq.prePacket = newPipeExec(pre, part.LeftStart, e.dyn)
+		}
+	}
+	if _, exists := e.queries[rq.key]; !exists {
+		e.order = append(e.order, rq.key)
+	}
+	e.queries[rq.key] = rq
+	return nil
+}
+
+// Installed returns the keys of all installed query instances in
+// installation order.
+func (e *Engine) Installed() []QueryKey {
+	return append([]QueryKey(nil), e.order...)
+}
+
+func (e *Engine) instance(qid uint16, level uint8) *runningQuery {
+	rq, ok := e.queries[QueryKey{qid, level}]
+	if !ok {
+		panic(fmt.Sprintf("stream: no query instance q%d/r%d installed", qid, level))
+	}
+	return rq
+}
+
+func (e *Engine) count(k QueryKey) {
+	e.metrics.TuplesIn++
+	e.metrics.PerQuery[k]++
+}
+
+// IngestPacket delivers a raw (or mirrored) packet to the left pipeline of
+// a query instance. The packet may be reused by the caller after return;
+// nothing aliases it past this call.
+func (e *Engine) IngestPacket(qid uint16, level uint8, pkt *packet.Packet) {
+	rq := e.instance(qid, level)
+	e.count(rq.key)
+	if rq.packetLeft {
+		e.ingestPacketLeft(rq, pkt)
+		return
+	}
+	rq.left.ingestPacket(rq.part.LeftStart, pkt)
+}
+
+// IngestRightPacket delivers a raw packet to the right (joined) pipeline.
+func (e *Engine) IngestRightPacket(qid uint16, level uint8, pkt *packet.Packet) {
+	rq := e.instance(qid, level)
+	e.count(rq.key)
+	if rq.right == nil {
+		panic(fmt.Sprintf("stream: q%d has no right pipeline", qid))
+	}
+	rq.right.ingestPacket(rq.part.RightStart, pkt)
+}
+
+// ingestPacketLeft handles the packet-phase-left join path: run left ops
+// plus post's packet filters, then extract the join key and post-map tuple
+// and buffer them until the right side's window output is known.
+func (e *Engine) ingestPacketLeft(rq *runningQuery, pkt *packet.Packet) {
+	pre := rq.prePacket
+	// Run the filters; a surviving packet falls off the end of pre's ops.
+	before := pre.outCounts[len(pre.ops)]
+	pre.ingestPacket(rq.part.LeftStart, pkt)
+	if pre.outCounts[len(pre.ops)] == before {
+		return // dropped
+	}
+	keyVals := make([]tuple.Value, len(rq.q.JoinKeys))
+	for i, f := range rq.q.JoinKeys {
+		v, ok := pkt.Field(f)
+		if !ok {
+			return
+		}
+		keyVals[i] = v
+	}
+	key := tuple.Key(keyVals, identityCols(len(keyVals)))
+	var vals []tuple.Value
+	if rq.postMapIdx >= 0 {
+		mapOp := &rq.q.Post.Ops[rq.postMapIdx]
+		vals = make([]tuple.Value, len(mapOp.Cols))
+		for j := range mapOp.Cols {
+			v, ok := mapOp.Cols[j].Expr.EvalPacket(pkt)
+			if !ok {
+				return
+			}
+			vals[j] = v
+		}
+	} else {
+		vals = keyVals
+	}
+	rq.pending = append(rq.pending, joinItem{key: key, vals: vals})
+}
+
+// IngestTuple delivers a tuple entering at the installed partition point of
+// the given side.
+func (e *Engine) IngestTuple(qid uint16, level uint8, side Side, vals []tuple.Value) {
+	rq := e.instance(qid, level)
+	e.count(rq.key)
+	switch side {
+	case SideLeft:
+		rq.left.ingestTuple(rq.part.LeftStart, vals)
+	case SideRight:
+		if rq.right == nil {
+			panic(fmt.Sprintf("stream: q%d has no right pipeline", qid))
+		}
+		rq.right.ingestTuple(rq.part.RightStart, vals)
+	}
+}
+
+// IngestTupleAt delivers a tuple entering at an explicit op index — the
+// collision-overflow path, where the switch shunts the stateful operator's
+// input tuple and the stream processor runs the operator itself.
+func (e *Engine) IngestTupleAt(qid uint16, level uint8, side Side, opIdx int, vals []tuple.Value) {
+	rq := e.instance(qid, level)
+	e.count(rq.key)
+	ex := e.execFor(rq, side)
+	ex.ingestTuple(opIdx, vals)
+}
+
+func (e *Engine) execFor(rq *runningQuery, side Side) *pipeExec {
+	if side == SideRight {
+		if rq.right == nil {
+			panic(fmt.Sprintf("stream: q%d has no right pipeline", rq.key.QID))
+		}
+		return rq.right
+	}
+	if rq.packetLeft {
+		return rq.prePacket
+	}
+	return rq.left
+}
+
+// IngestAgg merges a pre-aggregated (key, value) record — a register dump
+// from the switch — into the stateful operator at index opIdx of the given
+// side, combining with any overflow packets the stream processor absorbed
+// itself during the window.
+func (e *Engine) IngestAgg(qid uint16, level uint8, side Side, opIdx int, keyVals []tuple.Value, agg uint64) {
+	rq := e.instance(qid, level)
+	e.count(rq.key)
+	e.execFor(rq, side).mergeAgg(opIdx, keyVals, agg)
+}
+
+// EndWindow closes the current window: drains all stateful state, performs
+// joins, runs post-join pipelines, and returns per-instance results plus
+// the window's load metrics. Results are ordered by installation and tuples
+// sorted for determinism.
+func (e *Engine) EndWindow() ([]Result, Metrics) {
+	results := make([]Result, 0, len(e.order))
+	for _, key := range e.order {
+		rq := e.queries[key]
+		res := Result{QID: key.QID, Level: key.Level, Schema: rq.q.FinalSchema()}
+		if rq.q.HasJoin() {
+			e.endJoin(rq, &res)
+		} else {
+			res.Tuples = rq.left.endWindow()
+		}
+		sortTuples(res.Tuples)
+		results = append(results, res)
+	}
+	m := e.metrics
+	e.metrics = Metrics{PerQuery: make(map[QueryKey]uint64)}
+	return results, m
+}
+
+// endJoin performs the window-end join and post pipeline for one instance,
+// filling the result's final tuples and both sides' pre-join outputs.
+func (e *Engine) endJoin(rq *runningQuery, res *Result) {
+	rightOuts := rq.right.endWindow()
+	rightBy := make(map[string][]tuple.Value, len(rightOuts))
+	rs := rq.q.Right.OutSchema()
+	for _, out := range rightOuts {
+		k := tuple.Key(out, rq.rightKeyIdx)
+		if _, dup := rightBy[k]; !dup { // aggregated keys are unique
+			rightBy[k] = out
+		}
+	}
+	res.RightOutputs = rightOuts
+	res.RightSchema = rs
+
+	if rq.packetLeft {
+		// Semi-join the buffered packet-derived tuples, then resume the
+		// post pipeline after its map.
+		resume := rq.postMapIdx + 1
+		if rq.postMapIdx < 0 {
+			resume = len(rq.q.Post.Ops)
+		}
+		for _, item := range rq.pending {
+			if _, ok := rightBy[item.key]; !ok {
+				continue
+			}
+			rq.post.ingestTuple(resume, item.vals)
+		}
+		rq.pending = nil
+		rq.prePacket.endWindow() // reset any state; outputs unused
+		res.Tuples = rq.post.endWindow()
+		return
+	}
+
+	leftOuts := rq.left.endWindow()
+	res.LeftOutputs = leftOuts
+	res.LeftSchema = rq.q.Left.OutSchema()
+	nonKeyR := nonKeyCols(rs, rq.rightKeyIdx)
+	ls := rq.q.Left.OutSchema()
+	nonKeyL := nonKeyCols(ls, rq.joinKeyIdxL)
+	zeroRight := make([]tuple.Value, len(rs))
+	for _, lo := range leftOuts {
+		ro, ok := rightBy[tuple.Key(lo, rq.joinKeyIdxL)]
+		if !ok {
+			if !rq.q.JoinOuter {
+				continue
+			}
+			ro = zeroRight // left-outer: absent aggregates read as zero
+		}
+		joined := make([]tuple.Value, 0, len(rq.joinKeyIdxL)+len(nonKeyL)+len(nonKeyR))
+		for _, i := range rq.joinKeyIdxL {
+			joined = append(joined, lo[i])
+		}
+		for _, i := range nonKeyL {
+			joined = append(joined, lo[i])
+		}
+		for _, i := range nonKeyR {
+			joined = append(joined, ro[i])
+		}
+		rq.post.ingestTuple(0, joined)
+	}
+	res.Tuples = rq.post.endWindow()
+}
+
+func nonKeyCols(s tuple.Schema, keyIdx []int) []int {
+	var out []int
+	for i := range s {
+		if !intsHave(keyIdx, i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func intsHave(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sortTuples(ts [][]tuple.Value) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		for k := 0; k < n; k++ {
+			if !a[k].Equal(b[k]) {
+				return a[k].Less(b[k])
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// FieldOfResult is a convenience for tests and reports: the value of the
+// named column in a result tuple.
+func FieldOfResult(r *Result, t []tuple.Value, f fields.ID) (tuple.Value, bool) {
+	i := r.Schema.Index(f)
+	if i < 0 || i >= len(t) {
+		return tuple.Value{}, false
+	}
+	return t[i], true
+}

@@ -1,0 +1,335 @@
+// Package stream implements Sonata's stream processor: a micro-batch
+// dataflow engine executing the portions of each query that the planner
+// leaves off the switch (the Spark Streaming role in the paper).
+//
+// Tuples enter mid-pipeline at the partition point chosen by the planner;
+// stateful operators accumulate per-window state that is flushed when the
+// window closes; join queries combine their sub-pipelines at flush time; and
+// register dumps from the switch merge into the same aggregation state that
+// collision-overflow packets were folded into, reproducing the paper's
+// end-of-window reconciliation (Section 3.1.3).
+package stream
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/fields"
+	"repro/internal/packet"
+	"repro/internal/query"
+	"repro/internal/tuple"
+)
+
+// DynTables holds the dynamic-refinement filter sets, updated by the
+// runtime at window boundaries and consulted by filter operators that carry
+// a DynFilterTable tag. It is safe for concurrent use.
+type DynTables struct {
+	mu   sync.RWMutex
+	sets map[string]map[string]struct{}
+}
+
+// NewDynTables returns an empty table store.
+func NewDynTables() *DynTables {
+	return &DynTables{sets: make(map[string]map[string]struct{})}
+}
+
+// Replace installs the allowed key set for a table, replacing any previous
+// contents (the per-window refresh of Figure 4's red filters).
+func (d *DynTables) Replace(table string, keys []string) {
+	set := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		set[k] = struct{}{}
+	}
+	d.mu.Lock()
+	d.sets[table] = set
+	d.mu.Unlock()
+}
+
+// Contains reports whether key is currently allowed by table. A table that
+// was never installed admits nothing: finer refinement levels stay idle
+// until the coarser level reports.
+func (d *DynTables) Contains(table, key string) bool {
+	d.mu.RLock()
+	set := d.sets[table]
+	_, ok := set[key]
+	d.mu.RUnlock()
+	return ok
+}
+
+// Size returns the number of keys installed for a table.
+func (d *DynTables) Size(table string) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.sets[table])
+}
+
+// opState is the per-window state of one stateful operator.
+type opState struct {
+	// agg maps encoded key -> running aggregate (reduce only).
+	agg map[string]uint64
+	// keyVals remembers the decoded key columns for rebuilding tuples.
+	keyVals map[string][]tuple.Value
+}
+
+func newOpState() *opState {
+	return &opState{agg: make(map[string]uint64), keyVals: make(map[string][]tuple.Value)}
+}
+
+// pipeExec executes the suffix of one pipeline, from op index start to the
+// end. Inputs may be raw packets (when ops[start] is packet-phase) or
+// tuples. Stateful operators hold per-window state; EndWindow drains them in
+// order and returns the pipeline's outputs.
+type pipeExec struct {
+	ops   []query.Op
+	start int
+	dyn   *DynTables
+
+	states []*opState // parallel to ops; nil for stateless ops
+	// outCounts[i] counts emissions of op i this window (used by the
+	// profiler to estimate the paper's N_{q,t}).
+	outCounts []uint64
+	// outputs collects tuples that fell off the end of the pipeline.
+	outputs [][]tuple.Value
+	// keyScratch avoids re-allocating key buffers on the hot path.
+	keyScratch []byte
+	// inputCount tracks packets fed this window (profiling only).
+	inputCount uint64
+	// lastKeys[i] is the key count of stateful op i at the moment the last
+	// endWindow drained it. Downstream stateful ops are only populated by
+	// upstream flushes, so counts must be captured during the drain, not
+	// before it.
+	lastKeys []uint64
+}
+
+func newPipeExec(ops []query.Op, start int, dyn *DynTables) *pipeExec {
+	e := &pipeExec{ops: ops, start: start, dyn: dyn,
+		states: make([]*opState, len(ops)), outCounts: make([]uint64, len(ops)+1)}
+	// State exists for every stateful op, including those before the
+	// partition point: register dumps from the switch merge into the state
+	// of an op that nominally ran on the switch (see mergeAgg).
+	for i := range ops {
+		if ops[i].Stateful() {
+			e.states[i] = newOpState()
+		}
+	}
+	return e
+}
+
+// ingestPacket pushes a raw packet through packet-phase ops starting at op
+// index at; when a map converts it to a tuple the tuple continues through
+// ingestTuple. Returns false if the packet was dropped by a filter.
+func (e *pipeExec) ingestPacket(at int, pkt *packet.Packet) {
+	for i := at; i < len(e.ops); i++ {
+		o := &e.ops[i]
+		if !o.PacketPhase() {
+			panic(fmt.Sprintf("stream: op %d (%v) is tuple-phase but received a packet", i, o.Kind))
+		}
+		switch o.Kind {
+		case query.OpFilter:
+			if o.DynFilterTable != "" {
+				v, ok := pkt.Field(o.DynKeyField)
+				if !ok {
+					return
+				}
+				key := DynKeyFromValue(o.DynKeyField, v, o.DynLevel)
+				if !e.dyn.Contains(o.DynFilterTable, key) {
+					return
+				}
+			} else {
+				for j := range o.Clauses {
+					if !o.Clauses[j].MatchPacket(pkt) {
+						return
+					}
+				}
+			}
+			e.outCounts[i]++
+		case query.OpMap:
+			vals := make([]tuple.Value, len(o.Cols))
+			for j := range o.Cols {
+				v, ok := o.Cols[j].Expr.EvalPacket(pkt)
+				if !ok {
+					return // packet lacks a required field
+				}
+				vals[j] = v
+			}
+			e.outCounts[i]++
+			e.ingestTuple(i+1, vals)
+			return
+		default:
+			panic(fmt.Sprintf("stream: stateful op %v in packet phase", o.Kind))
+		}
+	}
+	// Pipeline ended while still in packet phase: the result is the packet
+	// itself; record its passage (callers that need the packets — the
+	// packet-phase join path — intercept before this point).
+	e.outCounts[len(e.ops)]++
+}
+
+// DynKeyFromValue builds the dynamic-filter lookup key for a single value
+// masked to the filter's level. The runtime uses the same function when it
+// installs the keys reported by the coarser level, so lookups always agree.
+func DynKeyFromValue(f fields.ID, v tuple.Value, level int) string {
+	masked := query.MaskValue(f, v, level)
+	return tuple.Key([]tuple.Value{masked}, identityCols(1))
+}
+
+// ingestTuple pushes a tuple through ops starting at index at, stopping at
+// the first stateful op (which absorbs it into window state).
+func (e *pipeExec) ingestTuple(at int, vals []tuple.Value) {
+	for i := at; i < len(e.ops); i++ {
+		o := &e.ops[i]
+		switch o.Kind {
+		case query.OpFilter:
+			if o.DynFilterTable != "" {
+				key := e.dynTupleKey(o, vals)
+				if !e.dyn.Contains(o.DynFilterTable, key) {
+					return
+				}
+			} else {
+				for j := range o.Clauses {
+					if !o.Clauses[j].MatchTuple(vals) {
+						return
+					}
+				}
+			}
+			e.outCounts[i]++
+		case query.OpMap:
+			out := make([]tuple.Value, len(o.Cols))
+			for j := range o.Cols {
+				out[j] = o.Cols[j].Expr.EvalTuple(vals)
+			}
+			vals = out
+			e.outCounts[i]++
+		case query.OpReduce:
+			st := e.states[i]
+			key := e.tupleKey(vals, o.KeyCols)
+			if prev, ok := st.agg[key]; ok {
+				st.agg[key] = o.Func.Apply(prev, vals[o.ValCol].U)
+			} else {
+				st.agg[key] = vals[o.ValCol].U
+				st.keyVals[key] = pickVals(vals, o.KeyCols)
+			}
+			return
+		case query.OpDistinct:
+			st := e.states[i]
+			key := e.tupleKey(vals, o.KeyCols)
+			if _, ok := st.agg[key]; !ok {
+				st.agg[key] = 1
+				st.keyVals[key] = pickVals(vals, o.KeyCols)
+			}
+			return
+		}
+	}
+	e.outCounts[len(e.ops)]++
+	e.outputs = append(e.outputs, vals)
+}
+
+// mergeAgg folds a pre-aggregated (key, value) produced by the switch into
+// the stateful op at index at, using the op's own aggregation function so
+// switch-side and overflow-side contributions combine correctly.
+func (e *pipeExec) mergeAgg(at int, keyVals []tuple.Value, agg uint64) {
+	o := &e.ops[at]
+	if !o.Stateful() {
+		panic(fmt.Sprintf("stream: mergeAgg into stateless op %v", o.Kind))
+	}
+	st := e.states[at]
+	idx := identityCols(len(keyVals))
+	key := e.tupleKey(keyVals, idx)
+	if prev, ok := st.agg[key]; ok {
+		st.agg[key] = o.Func.Apply(prev, agg)
+	} else {
+		st.agg[key] = agg
+		st.keyVals[key] = append([]tuple.Value(nil), keyVals...)
+	}
+}
+
+// endWindow drains stateful state in pipeline order, cascading through
+// downstream operators, and returns the final outputs. State is reset for
+// the next window.
+func (e *pipeExec) endWindow() [][]tuple.Value {
+	if e.lastKeys == nil {
+		e.lastKeys = make([]uint64, len(e.ops))
+	}
+	for i := 0; i < len(e.ops); i++ {
+		st := e.states[i]
+		if st == nil {
+			continue
+		}
+		// Capture the key count now: every upstream stateful op has already
+		// flushed into this one.
+		e.lastKeys[i] = uint64(len(st.agg))
+		o := &e.ops[i]
+		for key, aggVal := range st.agg {
+			kv := st.keyVals[key]
+			var out []tuple.Value
+			switch o.Kind {
+			case query.OpReduce:
+				out = make([]tuple.Value, 0, len(kv)+1)
+				out = append(out, kv...)
+				out = append(out, tuple.U64(aggVal))
+			case query.OpDistinct:
+				out = kv
+			}
+			e.outCounts[i]++
+			e.ingestTuple(i+1, out)
+		}
+		e.states[i] = newOpState()
+	}
+	outs := e.outputs
+	e.outputs = nil
+	return outs
+}
+
+// resetCounts zeroes the per-op emission counters (profiling granularity is
+// one window).
+func (e *pipeExec) resetCounts() {
+	for i := range e.outCounts {
+		e.outCounts[i] = 0
+	}
+}
+
+// tupleKey encodes the selected columns as a grouping key, reusing the
+// scratch buffer.
+func (e *pipeExec) tupleKey(vals []tuple.Value, idx []int) string {
+	e.keyScratch = tuple.AppendKey(e.keyScratch[:0], vals, idx)
+	return string(e.keyScratch)
+}
+
+// dynTupleKey builds the masked dynamic-filter key for a tuple-phase filter.
+func (e *pipeExec) dynTupleKey(o *query.Op, vals []tuple.Value) string {
+	masked := make([]tuple.Value, len(o.DynKeyCols))
+	for i, c := range o.DynKeyCols {
+		masked[i] = query.MaskValue(o.DynKeyField, vals[c], o.DynLevel)
+	}
+	return tuple.Key(masked, identityCols(len(masked)))
+}
+
+func pickVals(vals []tuple.Value, idx []int) []tuple.Value {
+	out := make([]tuple.Value, len(idx))
+	for i, j := range idx {
+		out[i] = vals[j]
+	}
+	return out
+}
+
+var identityColCache = func() [][]int {
+	c := make([][]int, 9)
+	for n := range c {
+		c[n] = make([]int, n)
+		for i := 0; i < n; i++ {
+			c[n][i] = i
+		}
+	}
+	return c
+}()
+
+func identityCols(n int) []int {
+	if n < len(identityColCache) {
+		return identityColCache[n]
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}

@@ -1,0 +1,398 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// span is the common active-interval logic shared by all injectors.
+type span struct {
+	Start time.Duration
+	End   time.Duration
+}
+
+// overlap returns the fraction range [f0,f1) of window w that the span
+// covers, and whether it covers anything.
+func (s span) overlap(w WindowCtx) (float64, float64, bool) {
+	lo, hi := s.Start, s.End
+	if hi <= w.Start || lo >= w.Start+w.Width {
+		return 0, 0, false
+	}
+	if lo < w.Start {
+		lo = w.Start
+	}
+	if hi > w.Start+w.Width {
+		hi = w.Start + w.Width
+	}
+	f0 := float64(lo-w.Start) / float64(w.Width)
+	f1 := float64(hi-w.Start) / float64(w.Width)
+	return f0, f1, true
+}
+
+// spread returns evenly spaced fractions for n events between f0 and f1.
+func spread(f0, f1 float64, n, k int) float64 {
+	if n <= 1 {
+		return f0
+	}
+	return f0 + (f1-f0)*float64(k)/float64(n)
+}
+
+// attackerIP returns a deterministic 10.0.0.0/8 source address for actor i.
+func attackerIP(i int) uint32 {
+	return packet.IPv4Addr(10, byte(i>>16), byte(i>>8), byte(i))
+}
+
+// SYNFlood sends bare SYNs to the victim from many spoofed sources. It is
+// the positive signal for the "newly opened TCP connections" and "TCP SYN
+// flood" queries.
+type SYNFlood struct {
+	Victim           uint32
+	Sources          int
+	PacketsPerWindow int
+	Active           span
+}
+
+// NewSYNFlood builds a flood active during [start, end).
+func NewSYNFlood(victim uint32, sources, perWindow int, start, end time.Duration) *SYNFlood {
+	return &SYNFlood{Victim: victim, Sources: sources, PacketsPerWindow: perWindow, Active: span{start, end}}
+}
+
+func (a *SYNFlood) Truth() GroundTruth {
+	return GroundTruth{Kind: KindSYNFlood, Victim: a.Victim, Start: a.Active.Start, End: a.Active.End}
+}
+
+func (a *SYNFlood) EmitWindow(w WindowCtx, emit func(Record)) {
+	f0, f1, ok := a.Active.overlap(w)
+	if !ok {
+		return
+	}
+	n := int(float64(a.PacketsPerWindow) * (f1 - f0))
+	for k := 0; k < n; k++ {
+		src := attackerIP(w.Rand.Intn(a.Sources))
+		emit(Record{w.rel(spread(f0, f1, n, k)), packet.BuildFrame(nil, &packet.FrameSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: src, DstIP: a.Victim, Proto: 6,
+			SrcPort: ephemeralPort(w.Rand), DstPort: 80, TCPFlags: flagSYN, Pad: 60,
+		})})
+	}
+}
+
+// SSHBruteForce has many sources attempt logins against the victim's SSH
+// port with characteristically similar-sized packets.
+type SSHBruteForce struct {
+	Victim           uint32
+	Sources          int
+	PacketsPerWindow int
+	PacketLen        int
+	Active           span
+}
+
+func NewSSHBruteForce(victim uint32, sources, perWindow int, start, end time.Duration) *SSHBruteForce {
+	return &SSHBruteForce{Victim: victim, Sources: sources, PacketsPerWindow: perWindow, PacketLen: 124, Active: span{start, end}}
+}
+
+func (a *SSHBruteForce) Truth() GroundTruth {
+	return GroundTruth{Kind: KindSSHBrute, Victim: a.Victim, Start: a.Active.Start, End: a.Active.End}
+}
+
+func (a *SSHBruteForce) EmitWindow(w WindowCtx, emit func(Record)) {
+	f0, f1, ok := a.Active.overlap(w)
+	if !ok {
+		return
+	}
+	n := int(float64(a.PacketsPerWindow) * (f1 - f0))
+	for k := 0; k < n; k++ {
+		src := attackerIP(1_000_000 + w.Rand.Intn(a.Sources))
+		emit(Record{w.rel(spread(f0, f1, n, k)), packet.BuildFrame(nil, &packet.FrameSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: src, DstIP: a.Victim, Proto: 6,
+			SrcPort: ephemeralPort(w.Rand), DstPort: 22, TCPFlags: flagACK | flagPSH,
+			Pad: a.PacketLen,
+		})})
+	}
+}
+
+// Superspreader is a single source contacting many distinct destinations.
+type Superspreader struct {
+	Source           uint32
+	Fanout           int
+	PacketsPerWindow int
+	Active           span
+}
+
+func NewSuperspreader(source uint32, fanout, perWindow int, start, end time.Duration) *Superspreader {
+	return &Superspreader{Source: source, Fanout: fanout, PacketsPerWindow: perWindow, Active: span{start, end}}
+}
+
+func (a *Superspreader) Truth() GroundTruth {
+	return GroundTruth{Kind: KindSuperspreader, Victim: a.Source, Attacker: a.Source, Start: a.Active.Start, End: a.Active.End}
+}
+
+func (a *Superspreader) EmitWindow(w WindowCtx, emit func(Record)) {
+	f0, f1, ok := a.Active.overlap(w)
+	if !ok {
+		return
+	}
+	n := int(float64(a.PacketsPerWindow) * (f1 - f0))
+	for k := 0; k < n; k++ {
+		dst := attackerIP(2_000_000 + k%a.Fanout)
+		emit(Record{w.rel(spread(f0, f1, n, k)), packet.BuildFrame(nil, &packet.FrameSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: a.Source, DstIP: dst, Proto: 6,
+			SrcPort: ephemeralPort(w.Rand), DstPort: 80, TCPFlags: flagSYN, Pad: 60,
+		})})
+	}
+}
+
+// PortScan probes many destination ports on one target from one scanner.
+type PortScan struct {
+	Scanner          uint32
+	Target           uint32
+	Ports            int
+	PacketsPerWindow int
+	Active           span
+}
+
+func NewPortScan(scanner, target uint32, ports, perWindow int, start, end time.Duration) *PortScan {
+	return &PortScan{Scanner: scanner, Target: target, Ports: ports, PacketsPerWindow: perWindow, Active: span{start, end}}
+}
+
+func (a *PortScan) Truth() GroundTruth {
+	return GroundTruth{Kind: KindPortScan, Victim: a.Target, Attacker: a.Scanner, Start: a.Active.Start, End: a.Active.End}
+}
+
+func (a *PortScan) EmitWindow(w WindowCtx, emit func(Record)) {
+	f0, f1, ok := a.Active.overlap(w)
+	if !ok {
+		return
+	}
+	n := int(float64(a.PacketsPerWindow) * (f1 - f0))
+	for k := 0; k < n; k++ {
+		emit(Record{w.rel(spread(f0, f1, n, k)), packet.BuildFrame(nil, &packet.FrameSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: a.Scanner, DstIP: a.Target, Proto: 6,
+			SrcPort: ephemeralPort(w.Rand), DstPort: uint16(1 + k%a.Ports), TCPFlags: flagSYN, Pad: 60,
+		})})
+	}
+}
+
+// DDoS floods the victim with packets from many distinct sources.
+type DDoS struct {
+	Victim           uint32
+	Sources          int
+	PacketsPerWindow int
+	Active           span
+}
+
+func NewDDoS(victim uint32, sources, perWindow int, start, end time.Duration) *DDoS {
+	return &DDoS{Victim: victim, Sources: sources, PacketsPerWindow: perWindow, Active: span{start, end}}
+}
+
+func (a *DDoS) Truth() GroundTruth {
+	return GroundTruth{Kind: KindDDoS, Victim: a.Victim, Start: a.Active.Start, End: a.Active.End}
+}
+
+func (a *DDoS) EmitWindow(w WindowCtx, emit func(Record)) {
+	f0, f1, ok := a.Active.overlap(w)
+	if !ok {
+		return
+	}
+	n := int(float64(a.PacketsPerWindow) * (f1 - f0))
+	for k := 0; k < n; k++ {
+		src := attackerIP(3_000_000 + k%a.Sources)
+		emit(Record{w.rel(spread(f0, f1, n, k)), packet.BuildFrame(nil, &packet.FrameSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: src, DstIP: a.Victim, Proto: 17,
+			SrcPort: ephemeralPort(w.Rand), DstPort: 80, Pad: 400,
+		})})
+	}
+}
+
+// TCPIncomplete opens connections that never complete: SYNs with no
+// matching FINs, from rotating spoofed sources.
+type TCPIncomplete struct {
+	Victim           uint32
+	Sources          int
+	PacketsPerWindow int
+	Active           span
+}
+
+func NewTCPIncomplete(victim uint32, sources, perWindow int, start, end time.Duration) *TCPIncomplete {
+	return &TCPIncomplete{Victim: victim, Sources: sources, PacketsPerWindow: perWindow, Active: span{start, end}}
+}
+
+func (a *TCPIncomplete) Truth() GroundTruth {
+	return GroundTruth{Kind: KindIncomplete, Victim: a.Victim, Start: a.Active.Start, End: a.Active.End}
+}
+
+func (a *TCPIncomplete) EmitWindow(w WindowCtx, emit func(Record)) {
+	f0, f1, ok := a.Active.overlap(w)
+	if !ok {
+		return
+	}
+	n := int(float64(a.PacketsPerWindow) * (f1 - f0))
+	for k := 0; k < n; k++ {
+		src := attackerIP(4_000_000 + k%a.Sources)
+		emit(Record{w.rel(spread(f0, f1, n, k)), packet.BuildFrame(nil, &packet.FrameSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: src, DstIP: a.Victim, Proto: 6,
+			SrcPort: ephemeralPort(w.Rand), DstPort: 443, TCPFlags: flagSYN, Pad: 60,
+		})})
+	}
+}
+
+// Slowloris opens many connections to the victim, each transferring almost
+// nothing, so connections-per-byte is anomalously high.
+type Slowloris struct {
+	Victim         uint32
+	ConnsPerWindow int
+	Active         span
+}
+
+func NewSlowloris(victim uint32, connsPerWindow int, start, end time.Duration) *Slowloris {
+	return &Slowloris{Victim: victim, ConnsPerWindow: connsPerWindow, Active: span{start, end}}
+}
+
+func (a *Slowloris) Truth() GroundTruth {
+	return GroundTruth{Kind: KindSlowloris, Victim: a.Victim, Start: a.Active.Start, End: a.Active.End}
+}
+
+func (a *Slowloris) EmitWindow(w WindowCtx, emit func(Record)) {
+	f0, f1, ok := a.Active.overlap(w)
+	if !ok {
+		return
+	}
+	n := int(float64(a.ConnsPerWindow) * (f1 - f0))
+	for k := 0; k < n; k++ {
+		src := attackerIP(5_000_000 + k%64)
+		sport := uint16(20000 + k%40000)
+		frac := spread(f0, f1, n, k)
+		spec := packet.FrameSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: src, DstIP: a.Victim, Proto: 6,
+			SrcPort: sport, DstPort: 80, TCPFlags: flagSYN, Pad: 60,
+		}
+		emit(Record{w.rel(frac), packet.BuildFrame(nil, &spec)})
+		// One tiny header fragment keeps the connection alive.
+		spec.TCPFlags = flagACK | flagPSH
+		spec.Payload = []byte("X-a: b\r\n")
+		spec.Pad = 0
+		emit(Record{w.rel(frac + 0.0005), packet.BuildFrame(nil, &spec)})
+	}
+}
+
+// DNSTunnel exfiltrates data via many unique subdomain lookups beneath one
+// registered domain.
+type DNSTunnel struct {
+	Client           uint32
+	Resolver         uint32
+	Domain           string
+	QueriesPerWindow int
+	Active           span
+	counter          int
+}
+
+func NewDNSTunnel(client, resolver uint32, domain string, perWindow int, start, end time.Duration) *DNSTunnel {
+	return &DNSTunnel{Client: client, Resolver: resolver, Domain: domain, QueriesPerWindow: perWindow, Active: span{start, end}}
+}
+
+func (a *DNSTunnel) Truth() GroundTruth {
+	return GroundTruth{Kind: KindDNSTunnel, Victim: a.Client, Domain: a.Domain, Start: a.Active.Start, End: a.Active.End}
+}
+
+func (a *DNSTunnel) EmitWindow(w WindowCtx, emit func(Record)) {
+	f0, f1, ok := a.Active.overlap(w)
+	if !ok {
+		return
+	}
+	n := int(float64(a.QueriesPerWindow) * (f1 - f0))
+	for k := 0; k < n; k++ {
+		// Unique chunk label per query; windows never repeat labels because
+		// the counter persists across windows.
+		a.counter++
+		qname := fmt.Sprintf("x%08x.%s", a.counter, a.Domain)
+		frac := spread(f0, f1, n, k)
+		spec := packet.FrameSpec{SrcMAC: macA, DstMAC: macB, SrcIP: a.Client, DstIP: a.Resolver, SrcPort: ephemeralPort(w.Rand)}
+		emit(Record{w.rel(frac), packet.BuildDNSQuery(nil, &spec, uint16(a.counter), qname, packet.DNSTypeTXT)})
+		ans := []packet.DNSRecord{{Name: qname, Type: packet.DNSTypeTXT, Class: 1, TTL: 1, Data: []byte("ok")}}
+		rspec := packet.FrameSpec{SrcMAC: macB, DstMAC: macA, SrcIP: a.Resolver, DstIP: a.Client, DstPort: spec.SrcPort}
+		emit(Record{w.rel(frac + 0.0003), packet.BuildDNSResponse(nil, &rspec, uint16(a.counter), qname, packet.DNSTypeTXT, ans)})
+	}
+}
+
+// Zorro reproduces the IoT-malware case study (Figure 9): a brute-force
+// stream of similar-sized telnet packets to the victim, followed — once the
+// attacker "gains shell access" at ShellAt — by a handful of packets whose
+// payload contains the keyword "zorro".
+type Zorro struct {
+	Attacker         uint32
+	Victim           uint32
+	PacketsPerWindow int
+	PacketLen        int
+	Active           span
+	ShellAt          time.Duration
+	ShellPackets     int
+	emitted          int
+}
+
+func NewZorro(attacker, victim uint32, perWindow int, start, end, shellAt time.Duration) *Zorro {
+	return &Zorro{Attacker: attacker, Victim: victim, PacketsPerWindow: perWindow,
+		PacketLen: 90, Active: span{start, end}, ShellAt: shellAt, ShellPackets: 5}
+}
+
+func (a *Zorro) Truth() GroundTruth {
+	return GroundTruth{Kind: KindZorro, Victim: a.Victim, Attacker: a.Attacker, Start: a.Active.Start, End: a.Active.End}
+}
+
+func (a *Zorro) EmitWindow(w WindowCtx, emit func(Record)) {
+	f0, f1, ok := a.Active.overlap(w)
+	if ok {
+		n := int(float64(a.PacketsPerWindow) * (f1 - f0))
+		for k := 0; k < n; k++ {
+			emit(Record{w.rel(spread(f0, f1, n, k)), packet.BuildFrame(nil, &packet.FrameSpec{
+				SrcMAC: macA, DstMAC: macB, SrcIP: a.Attacker, DstIP: a.Victim, Proto: 6,
+				SrcPort: 31337, DstPort: 23, TCPFlags: flagACK | flagPSH,
+				Payload: []byte("admin\r\n"), Pad: a.PacketLen,
+			})})
+		}
+	}
+	// Shell phase: the "zorro" command packets.
+	if a.emitted < a.ShellPackets && a.ShellAt >= w.Start && a.ShellAt < w.Start+w.Width {
+		base := float64(a.ShellAt-w.Start) / float64(w.Width)
+		for k := 0; k < a.ShellPackets; k++ {
+			a.emitted++
+			emit(Record{w.rel(base + float64(k)*0.001), packet.BuildFrame(nil, &packet.FrameSpec{
+				SrcMAC: macA, DstMAC: macB, SrcIP: a.Attacker, DstIP: a.Victim, Proto: 6,
+				SrcPort: 31337, DstPort: 23, TCPFlags: flagACK | flagPSH,
+				Payload: []byte("sh -c zorro --spread\r\n"),
+			})})
+		}
+	}
+}
+
+// DNSReflection aims many large DNS responses from distinct resolvers at
+// the victim.
+type DNSReflection struct {
+	Victim           uint32
+	Resolvers        int
+	PacketsPerWindow int
+	Active           span
+}
+
+func NewDNSReflection(victim uint32, resolvers, perWindow int, start, end time.Duration) *DNSReflection {
+	return &DNSReflection{Victim: victim, Resolvers: resolvers, PacketsPerWindow: perWindow, Active: span{start, end}}
+}
+
+func (a *DNSReflection) Truth() GroundTruth {
+	return GroundTruth{Kind: KindDNSReflection, Victim: a.Victim, Start: a.Active.Start, End: a.Active.End}
+}
+
+func (a *DNSReflection) EmitWindow(w WindowCtx, emit func(Record)) {
+	f0, f1, ok := a.Active.overlap(w)
+	if !ok {
+		return
+	}
+	n := int(float64(a.PacketsPerWindow) * (f1 - f0))
+	big := make([]byte, 220) // amplified TXT answer
+	for k := 0; k < n; k++ {
+		resolver := attackerIP(6_000_000 + k%a.Resolvers)
+		ans := []packet.DNSRecord{{Name: "any.example", Type: packet.DNSTypeTXT, Class: 1, TTL: 60, Data: big}}
+		rspec := packet.FrameSpec{SrcMAC: macB, DstMAC: macA, SrcIP: resolver, DstIP: a.Victim, DstPort: ephemeralPort(w.Rand)}
+		emit(Record{w.rel(spread(f0, f1, n, k)), packet.BuildDNSResponse(nil, &rspec, uint16(k), "any.example", packet.DNSTypeANY, ans)})
+	}
+}

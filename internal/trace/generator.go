@@ -1,0 +1,319 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// Config parameterizes the synthetic workload.
+type Config struct {
+	// Seed makes the whole trace deterministic.
+	Seed int64
+	// Window is the query window W; generation is organized per window.
+	Window time.Duration
+	// Windows is the number of windows in the trace.
+	Windows int
+	// PacketsPerWindow is the approximate background packet budget per
+	// window (attack traffic is added on top).
+	PacketsPerWindow int
+	// Hosts is the size of each of the client and server populations.
+	Hosts int
+	// Slash8s controls prefix clustering: how many distinct /8s the server
+	// population spans.
+	Slash8s int
+	// ZipfS is the Zipf skew of host popularity (must be > 1).
+	ZipfS float64
+	// DNSShare is the fraction of UDP flows that carry DNS.
+	DNSShare float64
+	// Payloads attaches real payload bytes to telnet traffic (needed by the
+	// Zorro query); other traffic uses padding only to emulate size.
+	Payloads bool
+}
+
+// DefaultConfig returns a workload comparable in shape (not volume) to the
+// paper's CAIDA trace: heavy-tailed, prefix-clustered, mostly TCP.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             1,
+		Window:           3 * time.Second,
+		Windows:          6,
+		PacketsPerWindow: 100_000,
+		Hosts:            8_000,
+		Slash8s:          12,
+		ZipfS:            1.2,
+		DNSShare:         0.5,
+		Payloads:         true,
+	}
+}
+
+// WindowCtx carries per-window generation context to attack injectors.
+type WindowCtx struct {
+	Index int
+	Start time.Duration
+	Width time.Duration
+	Rand  *rand.Rand
+}
+
+// rel converts a fraction of the window into an absolute record timestamp.
+func (w WindowCtx) rel(frac float64) time.Duration {
+	return w.Start + time.Duration(frac*float64(w.Width))
+}
+
+// Attack injects packets for one event class and reports its ground truth.
+type Attack interface {
+	Truth() GroundTruth
+	// EmitWindow appends this attack's packets for the given window.
+	EmitWindow(w WindowCtx, emit func(Record))
+}
+
+// Generator produces trace windows deterministically.
+type Generator struct {
+	cfg     Config
+	clients *hostPopulation
+	servers *hostPopulation
+	domains []string
+	domZipf *rand.Zipf
+	domRand *rand.Rand
+	attacks []Attack
+}
+
+// NewGenerator validates cfg and builds the host and domain populations.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.Window <= 0 || cfg.Windows <= 0 {
+		return nil, fmt.Errorf("trace: window %v x %d invalid", cfg.Window, cfg.Windows)
+	}
+	if cfg.PacketsPerWindow <= 0 {
+		return nil, fmt.Errorf("trace: PacketsPerWindow must be positive")
+	}
+	if cfg.Hosts < 16 {
+		return nil, fmt.Errorf("trace: need at least 16 hosts, got %d", cfg.Hosts)
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("trace: ZipfS must exceed 1, got %v", cfg.ZipfS)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := &Generator{
+		cfg:     cfg,
+		clients: newHostPopulation(r, cfg.Hosts, cfg.Slash8s, cfg.ZipfS),
+		servers: newHostPopulation(r, cfg.Hosts, cfg.Slash8s, cfg.ZipfS),
+	}
+	g.domains = make([]string, 2000)
+	tlds := []string{"com", "net", "org", "io"}
+	for i := range g.domains {
+		g.domains[i] = fmt.Sprintf("site%04d.%s", i, tlds[r.Intn(len(tlds))])
+	}
+	g.domRand = rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	g.domZipf = rand.NewZipf(g.domRand, cfg.ZipfS, 1, uint64(len(g.domains)-1))
+	return g, nil
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// AddAttack registers an injector.
+func (g *Generator) AddAttack(a Attack) { g.attacks = append(g.attacks, a) }
+
+// Truth returns the ground truth of every registered attack.
+func (g *Generator) Truth() []GroundTruth {
+	out := make([]GroundTruth, len(g.attacks))
+	for i, a := range g.attacks {
+		out[i] = a.Truth()
+	}
+	return out
+}
+
+// Windows returns the number of windows in the trace.
+func (g *Generator) Windows() int { return g.cfg.Windows }
+
+// Duration returns the virtual length of the trace.
+func (g *Generator) Duration() time.Duration {
+	return time.Duration(g.cfg.Windows) * g.cfg.Window
+}
+
+// WindowRecords generates all packets (background plus attacks) for window
+// i, sorted by timestamp. Each call regenerates deterministically, so
+// callers may drop the slice and re-request it.
+func (g *Generator) WindowRecords(i int) Window {
+	if i < 0 || i >= g.cfg.Windows {
+		panic(fmt.Sprintf("trace: window %d out of range [0,%d)", i, g.cfg.Windows))
+	}
+	start := time.Duration(i) * g.cfg.Window
+	recs := make([]Record, 0, g.cfg.PacketsPerWindow+g.cfg.PacketsPerWindow/8)
+	emit := func(r Record) { recs = append(recs, r) }
+
+	bg := rand.New(rand.NewSource(g.cfg.Seed + int64(i)*1_000_003 + 17))
+	g.emitBackground(WindowCtx{Index: i, Start: start, Width: g.cfg.Window, Rand: bg}, emit)
+
+	for ai, a := range g.attacks {
+		ar := rand.New(rand.NewSource(g.cfg.Seed + int64(i)*1_000_003 + int64(ai+1)*7_919))
+		a.EmitWindow(WindowCtx{Index: i, Start: start, Width: g.cfg.Window, Rand: ar}, emit)
+	}
+	sortRecords(recs)
+	return Window{Index: i, Start: start, Records: recs}
+}
+
+// emitBackground fills the window's background packet budget with flows.
+func (g *Generator) emitBackground(w WindowCtx, emit func(Record)) {
+	budget := g.cfg.PacketsPerWindow
+	count := 0
+	emitCounted := func(r Record) {
+		emit(r)
+		count++
+	}
+	for count < budget {
+		switch x := w.Rand.Float64(); {
+		case x < 0.84:
+			g.emitTCPFlow(w, emitCounted)
+		case x < 0.98:
+			g.emitUDPFlow(w, emitCounted)
+		default:
+			g.emitOther(w, emitCounted)
+		}
+	}
+}
+
+var (
+	macA = [6]byte{0x02, 0, 0, 0, 0, 0x01}
+	macB = [6]byte{0x02, 0, 0, 0, 0, 0x02}
+)
+
+// frameSize pads a frame spec to a realistic wire size drawn from a bimodal
+// packet-size mix.
+func frameSize(r *rand.Rand) int {
+	switch x := r.Float64(); {
+	case x < 0.45:
+		return 1500
+	case x < 0.70:
+		return 576 + r.Intn(300)
+	default:
+		return 60 + r.Intn(80)
+	}
+}
+
+func (g *Generator) emitTCPFlow(w WindowCtx, emit func(Record)) {
+	r := w.Rand
+	client := g.clients.pick()
+	server := g.servers.pick()
+	sport := ephemeralPort(r)
+	dport := servicePort(r)
+	npkts := paretoInt(r, 4, 1.3, 48)
+	startFrac := r.Float64() * 0.9
+	span := (0.05 + r.Float64()*0.5) * (1 - startFrac) // flow stays inside window
+	step := span / float64(npkts)
+
+	ts := func(k int) time.Duration { return w.rel(startFrac + step*float64(k)) }
+	seq := r.Uint32()
+
+	// Handshake: SYN, SYN-ACK, ACK.
+	emit(Record{ts(0), packet.BuildFrame(nil, &packet.FrameSpec{
+		SrcMAC: macA, DstMAC: macB, SrcIP: client, DstIP: server, Proto: 6,
+		SrcPort: sport, DstPort: dport, TCPFlags: flagSYN, Seq: seq, Pad: 60,
+	})})
+	emit(Record{ts(1), packet.BuildFrame(nil, &packet.FrameSpec{
+		SrcMAC: macB, DstMAC: macA, SrcIP: server, DstIP: client, Proto: 6,
+		SrcPort: dport, DstPort: sport, TCPFlags: flagSYN | flagACK, Seq: r.Uint32(), Ack: seq + 1, Pad: 60,
+	})})
+	emit(Record{ts(2), packet.BuildFrame(nil, &packet.FrameSpec{
+		SrcMAC: macA, DstMAC: macB, SrcIP: client, DstIP: server, Proto: 6,
+		SrcPort: sport, DstPort: dport, TCPFlags: flagACK, Seq: seq + 1, Pad: 60,
+	})})
+
+	// Data: mostly server to client.
+	for k := 3; k < npkts-1; k++ {
+		var payload []byte
+		if g.cfg.Payloads && dport == 23 {
+			payload = telnetChatter(r)
+		}
+		if r.Float64() < 0.7 {
+			emit(Record{ts(k), packet.BuildFrame(nil, &packet.FrameSpec{
+				SrcMAC: macB, DstMAC: macA, SrcIP: server, DstIP: client, Proto: 6,
+				SrcPort: dport, DstPort: sport, TCPFlags: flagACK | flagPSH,
+				Payload: payload, Pad: frameSize(r),
+			})})
+		} else {
+			emit(Record{ts(k), packet.BuildFrame(nil, &packet.FrameSpec{
+				SrcMAC: macA, DstMAC: macB, SrcIP: client, DstIP: server, Proto: 6,
+				SrcPort: sport, DstPort: dport, TCPFlags: flagACK,
+				Payload: payload, Pad: 60,
+			})})
+		}
+	}
+	// Most flows close cleanly; a small tail stays incomplete, which gives
+	// the TCP-incomplete-flows query a realistic background level.
+	if r.Float64() < 0.92 {
+		emit(Record{ts(npkts - 1), packet.BuildFrame(nil, &packet.FrameSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: client, DstIP: server, Proto: 6,
+			SrcPort: sport, DstPort: dport, TCPFlags: flagFIN | flagACK, Pad: 60,
+		})})
+	}
+}
+
+func (g *Generator) emitUDPFlow(w WindowCtx, emit func(Record)) {
+	r := w.Rand
+	client := g.clients.pick()
+	if r.Float64() < g.cfg.DNSShare {
+		g.emitDNSExchange(w, client, emit)
+		return
+	}
+	server := g.servers.pick()
+	sport := ephemeralPort(r)
+	dport := servicePort(r)
+	n := 1 + r.Intn(8)
+	startFrac := r.Float64() * 0.95
+	for k := 0; k < n; k++ {
+		emit(Record{w.rel(startFrac + float64(k)*0.002), packet.BuildFrame(nil, &packet.FrameSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: client, DstIP: server, Proto: 17,
+			SrcPort: sport, DstPort: dport, Pad: frameSize(r),
+		})})
+	}
+}
+
+func (g *Generator) emitDNSExchange(w WindowCtx, client uint32, emit func(Record)) {
+	r := w.Rand
+	resolver := g.servers.pick()
+	sport := ephemeralPort(r)
+	dom := g.domains[g.domZipf.Uint64()]
+	qname := dom
+	if r.Float64() < 0.6 {
+		qname = "www." + dom
+	}
+	id := uint16(r.Uint32())
+	startFrac := r.Float64() * 0.95
+	spec := packet.FrameSpec{SrcMAC: macA, DstMAC: macB, SrcIP: client, DstIP: resolver, SrcPort: sport}
+	emit(Record{w.rel(startFrac), packet.BuildDNSQuery(nil, &spec, id, qname, packet.DNSTypeA)})
+	// Response with 1-3 A records.
+	answers := make([]packet.DNSRecord, 1+r.Intn(3))
+	for i := range answers {
+		addr := g.servers.pickUniform(r)
+		answers[i] = packet.DNSRecord{Name: qname, Type: packet.DNSTypeA, Class: 1, TTL: 300,
+			Data: []byte{byte(addr >> 24), byte(addr >> 16), byte(addr >> 8), byte(addr)}}
+	}
+	rspec := packet.FrameSpec{SrcMAC: macB, DstMAC: macA, SrcIP: resolver, DstIP: client, DstPort: sport}
+	emit(Record{w.rel(startFrac + 0.001), packet.BuildDNSResponse(nil, &rspec, id, qname, packet.DNSTypeA, answers)})
+}
+
+func (g *Generator) emitOther(w WindowCtx, emit func(Record)) {
+	r := w.Rand
+	emit(Record{w.rel(r.Float64()), packet.BuildFrame(nil, &packet.FrameSpec{
+		SrcMAC: macA, DstMAC: macB, SrcIP: g.clients.pick(), DstIP: g.servers.pick(),
+		Proto: 1, Pad: 84,
+	})})
+}
+
+func telnetChatter(r *rand.Rand) []byte {
+	lines := []string{"login: admin\r\n", "Password: \r\n", "$ ls -la\r\n", "$ uptime\r\n", "$ cat /proc/cpuinfo\r\n"}
+	return []byte(lines[r.Intn(len(lines))])
+}
+
+// TCP flag bits (duplicated from fields to keep this package free of a
+// dependency on the query layer).
+const (
+	flagFIN = 1 << 0
+	flagSYN = 1 << 1
+	flagRST = 1 << 2
+	flagPSH = 1 << 3
+	flagACK = 1 << 4
+)

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/packet"
+)
+
+// hostPopulation is a set of IPv4 addresses with Zipf-ranked popularity,
+// clustered into a small number of /8, /16 and /24 prefixes so that coarse
+// aggregation concentrates traffic (the property dynamic refinement
+// exploits).
+type hostPopulation struct {
+	addrs []uint32
+	zipf  *rand.Zipf
+}
+
+// newHostPopulation builds n hosts spread over the given number of /8
+// groups. Within each /8 the /16 and /24 bytes are drawn from small pools so
+// siblings share prefixes. The same rng must be used for sampling to keep
+// generation deterministic.
+func newHostPopulation(r *rand.Rand, n, slash8s int, zipfS float64) *hostPopulation {
+	if n <= 0 {
+		panic("trace: empty host population")
+	}
+	if slash8s <= 0 {
+		slash8s = 1
+	}
+	// Pick distinct /8 values, avoiding 0, 10 (used by attack actors), 127,
+	// and 224+ (multicast).
+	used := map[byte]bool{0: true, 10: true, 127: true}
+	tops := make([]byte, 0, slash8s)
+	for len(tops) < slash8s {
+		b := byte(r.Intn(223) + 1)
+		if used[b] {
+			continue
+		}
+		used[b] = true
+		tops = append(tops, b)
+	}
+	// Each /8 gets a handful of /16s; each /16 a handful of /24s.
+	addrs := make([]uint32, 0, n)
+	seen := make(map[uint32]bool, n)
+	for len(addrs) < n {
+		top := tops[r.Intn(len(tops))]
+		b16 := byte(r.Intn(8))  // 8 /16s per /8
+		b24 := byte(r.Intn(16)) // 16 /24s per /16
+		host := byte(r.Intn(254) + 1)
+		a := packet.IPv4Addr(top, b16, b24, host)
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		addrs = append(addrs, a)
+	}
+	return &hostPopulation{
+		addrs: addrs,
+		zipf:  rand.NewZipf(r, zipfS, 1, uint64(n-1)),
+	}
+}
+
+// pick returns a host with Zipf-ranked popularity.
+func (h *hostPopulation) pick() uint32 {
+	return h.addrs[h.zipf.Uint64()]
+}
+
+// pickUniform returns a host uniformly at random.
+func (h *hostPopulation) pickUniform(r *rand.Rand) uint32 {
+	return h.addrs[r.Intn(len(h.addrs))]
+}
+
+// servicePort draws a destination port from a realistic service mix.
+func servicePort(r *rand.Rand) uint16 {
+	switch x := r.Float64(); {
+	case x < 0.35:
+		return 443
+	case x < 0.60:
+		return 80
+	case x < 0.70:
+		return 53
+	case x < 0.73:
+		return 22
+	case x < 0.745:
+		return 25
+	case x < 0.755:
+		return 23
+	case x < 0.77:
+		return 123
+	default:
+		return uint16(1024 + r.Intn(64511))
+	}
+}
+
+// ephemeralPort draws a client-side source port.
+func ephemeralPort(r *rand.Rand) uint16 {
+	return uint16(32768 + r.Intn(28000))
+}
+
+// paretoInt draws a Pareto-distributed integer with the given minimum and
+// shape alpha, capped at max to bound memory.
+func paretoInt(r *rand.Rand, min int, alpha float64, max int) int {
+	u := r.Float64()
+	if u == 0 {
+		u = 1e-12
+	}
+	v := float64(min) / math.Pow(u, 1/alpha)
+	n := int(v)
+	if n < min {
+		n = min
+	}
+	if n > max {
+		n = max
+	}
+	return n
+}

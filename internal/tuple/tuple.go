@@ -1,0 +1,240 @@
+// Package tuple defines the value and tuple representations that flow between
+// the switch, the emitter, and the stream processor.
+//
+// Sonata's dataflow operators are defined over tuples of typed values. A
+// tuple's layout is described by a Schema (an ordered list of field IDs); the
+// values themselves are stored positionally so that hot-path operators can
+// index columns without map lookups.
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/fields"
+)
+
+// Value is a single column value: either a numeric (U) or a byte-string (S).
+// The zero Value is the numeric 0.
+type Value struct {
+	U   uint64
+	S   string
+	Str bool
+}
+
+// U64 returns a numeric value.
+func U64(v uint64) Value { return Value{U: v} }
+
+// Str returns a byte-string value.
+func Str(s string) Value { return Value{S: s, Str: true} }
+
+// Equal reports whether two values are identical in kind and content.
+func (v Value) Equal(o Value) bool {
+	if v.Str != o.Str {
+		return false
+	}
+	if v.Str {
+		return v.S == o.S
+	}
+	return v.U == o.U
+}
+
+// Less orders values: numerics before strings, then by content. It provides a
+// total order for deterministic result sorting.
+func (v Value) Less(o Value) bool {
+	if v.Str != o.Str {
+		return !v.Str
+	}
+	if v.Str {
+		return v.S < o.S
+	}
+	return v.U < o.U
+}
+
+// String renders the value for logs and test failures.
+func (v Value) String() string {
+	if v.Str {
+		return fmt.Sprintf("%q", v.S)
+	}
+	return fmt.Sprintf("%d", v.U)
+}
+
+// IPString renders a numeric value as a dotted-quad IPv4 address.
+func (v Value) IPString() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(v.U>>24), byte(v.U>>16), byte(v.U>>8), byte(v.U))
+}
+
+// Schema is an ordered list of field IDs describing tuple columns. Field IDs
+// may repeat only when they denote distinct synthetic columns (e.g. two
+// AggVal columns after a join); position is the identity of a column.
+type Schema []fields.ID
+
+// Index returns the position of the first column with field id, or -1.
+func (s Schema) Index(id fields.ID) int {
+	for i, f := range s {
+		if f == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether the schema has a column with field id.
+func (s Schema) Contains(id fields.ID) bool { return s.Index(id) >= 0 }
+
+// Clone returns an independent copy of the schema. A nil schema (the
+// packet-phase marker) stays nil.
+func (s Schema) Clone() Schema {
+	if s == nil {
+		return nil
+	}
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports whether two schemas have identical columns.
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Bits returns the total metadata width of the schema in bits, which is what
+// carrying one tuple of this schema through the switch pipeline costs.
+func (s Schema) Bits() int {
+	total := 0
+	for _, f := range s {
+		total += f.Bits()
+	}
+	return total
+}
+
+// String renders the schema as "(ipv4.dIP, agg)".
+func (s Schema) String() string {
+	names := make([]string, len(s))
+	for i, f := range s {
+		names[i] = f.String()
+	}
+	return "(" + strings.Join(names, ", ") + ")"
+}
+
+// Tuple is one record flowing through the system. QID identifies the query
+// the tuple belongs to and Level the refinement level that produced it (zero
+// when refinement is not in play). Vals is positional per the query's schema
+// at that point in the dataflow.
+type Tuple struct {
+	QID   uint16
+	Level uint8
+	Vals  []Value
+}
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	vals := make([]Value, len(t.Vals))
+	copy(vals, t.Vals)
+	return Tuple{QID: t.QID, Level: t.Level, Vals: vals}
+}
+
+// String renders the tuple for logs and test failures.
+func (t Tuple) String() string {
+	parts := make([]string, len(t.Vals))
+	for i, v := range t.Vals {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("q%d/r%d[%s]", t.QID, t.Level, strings.Join(parts, " "))
+}
+
+// Key encodes the values at positions idx into a compact comparable string
+// for use as a grouping key. The encoding is injective: numerics are tagged
+// 'u' followed by 8 big-endian bytes; strings are tagged 's' followed by a
+// 4-byte length and the bytes.
+func Key(vals []Value, idx []int) string {
+	var b []byte
+	b = appendKey(b, vals, idx)
+	return string(b)
+}
+
+// AppendKey appends the key encoding of the selected values to dst and
+// returns the extended slice, allowing callers to reuse a scratch buffer.
+func AppendKey(dst []byte, vals []Value, idx []int) []byte {
+	return appendKey(dst, vals, idx)
+}
+
+func appendKey(b []byte, vals []Value, idx []int) []byte {
+	for _, i := range idx {
+		v := vals[i]
+		if v.Str {
+			b = append(b, 's')
+			var l [4]byte
+			binary.BigEndian.PutUint32(l[:], uint32(len(v.S)))
+			b = append(b, l[:]...)
+			b = append(b, v.S...)
+		} else {
+			b = append(b, 'u')
+			var u [8]byte
+			binary.BigEndian.PutUint64(u[:], v.U)
+			b = append(b, u[:]...)
+		}
+	}
+	return b
+}
+
+// DecodeKey decodes a key produced by Key back into values. It is the
+// inverse of Key for the selected columns and is used when the stream
+// processor reconstructs grouping keys from switch register dumps.
+func DecodeKey(key string) ([]Value, error) {
+	var vals []Value
+	b := []byte(key)
+	for len(b) > 0 {
+		switch b[0] {
+		case 'u':
+			if len(b) < 9 {
+				return nil, fmt.Errorf("tuple: truncated numeric key at byte %d", len(key)-len(b))
+			}
+			vals = append(vals, U64(binary.BigEndian.Uint64(b[1:9])))
+			b = b[9:]
+		case 's':
+			if len(b) < 5 {
+				return nil, fmt.Errorf("tuple: truncated string key header")
+			}
+			n := int(binary.BigEndian.Uint32(b[1:5]))
+			if len(b) < 5+n {
+				return nil, fmt.Errorf("tuple: truncated string key body (want %d bytes)", n)
+			}
+			vals = append(vals, Str(string(b[5:5+n])))
+			b = b[5+n:]
+		default:
+			return nil, fmt.Errorf("tuple: bad key tag %q", b[0])
+		}
+	}
+	return vals, nil
+}
+
+// Less orders tuples by QID, then Level, then values column-by-column. It
+// gives tests and result reports a deterministic order.
+func Less(a, b Tuple) bool {
+	if a.QID != b.QID {
+		return a.QID < b.QID
+	}
+	if a.Level != b.Level {
+		return a.Level < b.Level
+	}
+	n := len(a.Vals)
+	if len(b.Vals) < n {
+		n = len(b.Vals)
+	}
+	for i := 0; i < n; i++ {
+		if !a.Vals[i].Equal(b.Vals[i]) {
+			return a.Vals[i].Less(b.Vals[i])
+		}
+	}
+	return len(a.Vals) < len(b.Vals)
+}

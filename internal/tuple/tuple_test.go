@@ -1,0 +1,198 @@
+package tuple
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fields"
+)
+
+func TestValueEqualAndLess(t *testing.T) {
+	cases := []struct {
+		a, b        Value
+		equal, less bool
+	}{
+		{U64(1), U64(1), true, false},
+		{U64(1), U64(2), false, true},
+		{U64(2), U64(1), false, false},
+		{Str("a"), Str("a"), true, false},
+		{Str("a"), Str("b"), false, true},
+		{U64(99), Str("a"), false, true}, // numerics order before strings
+		{Str("a"), U64(99), false, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.equal {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.equal)
+		}
+		if got := c.a.Less(c.b); got != c.less {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+func TestSchemaIndexAndBits(t *testing.T) {
+	s := Schema{fields.DstIP, fields.AggVal}
+	if i := s.Index(fields.DstIP); i != 0 {
+		t.Errorf("Index(DstIP) = %d", i)
+	}
+	if i := s.Index(fields.AggVal); i != 1 {
+		t.Errorf("Index(AggVal) = %d", i)
+	}
+	if i := s.Index(fields.SrcIP); i != -1 {
+		t.Errorf("Index(SrcIP) = %d, want -1", i)
+	}
+	if got := s.Bits(); got != 32+64 {
+		t.Errorf("Bits() = %d, want 96", got)
+	}
+	if !s.Contains(fields.AggVal) || s.Contains(fields.Proto) {
+		t.Error("Contains misreported membership")
+	}
+}
+
+func TestSchemaCloneIndependent(t *testing.T) {
+	s := Schema{fields.DstIP, fields.AggVal}
+	c := s.Clone()
+	c[0] = fields.SrcIP
+	if s[0] != fields.DstIP {
+		t.Error("Clone shares backing array with original")
+	}
+	if !s.Equal(Schema{fields.DstIP, fields.AggVal}) {
+		t.Error("Equal failed on identical schema")
+	}
+	if s.Equal(c) {
+		t.Error("Equal reported modified clone as equal")
+	}
+	if s.Equal(Schema{fields.DstIP}) {
+		t.Error("Equal ignored length difference")
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	vals := []Value{U64(0xC0A80001), Str("example.com"), U64(0), Str("")}
+	key := Key(vals, []int{0, 1, 2, 3})
+	got, err := DecodeKey(key)
+	if err != nil {
+		t.Fatalf("DecodeKey: %v", err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Errorf("round trip = %v, want %v", got, vals)
+	}
+}
+
+func TestKeySelectsColumns(t *testing.T) {
+	vals := []Value{U64(1), U64(2), U64(3)}
+	if Key(vals, []int{0, 2}) == Key(vals, []int{0, 1}) {
+		t.Error("keys over different columns collided")
+	}
+	if Key(vals, []int{1}) != Key([]Value{U64(7), U64(2)}, []int{1}) {
+		t.Error("same selected values produced different keys")
+	}
+}
+
+// Property: Key is injective over value slices (round trip through
+// DecodeKey reproduces the input exactly).
+func TestKeyInjectiveProperty(t *testing.T) {
+	gen := func(r *rand.Rand) []Value {
+		n := r.Intn(5)
+		vals := make([]Value, n)
+		for i := range vals {
+			if r.Intn(2) == 0 {
+				vals[i] = U64(r.Uint64())
+			} else {
+				b := make([]byte, r.Intn(20))
+				r.Read(b)
+				vals[i] = Str(string(b))
+			}
+		}
+		return vals
+	}
+	cfg := &quick.Config{Values: func(out []reflect.Value, r *rand.Rand) {
+		out[0] = reflect.ValueOf(gen(r))
+	}}
+	f := func(vals []Value) bool {
+		idx := make([]int, len(vals))
+		for i := range idx {
+			idx[i] = i
+		}
+		got, err := DecodeKey(Key(vals, idx))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(vals) {
+			return len(vals) == 0 && len(got) == 0
+		}
+		for i := range vals {
+			if !got[i].Equal(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeKeyRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"x",                      // unknown tag
+		"u\x00",                  // truncated numeric
+		"s\x00\x00\x00\x05ab",    // truncated string body
+		"s\x00\x00",              // truncated string header
+		Key([]Value{U64(1)}, []int{0}) + "u", // trailing garbage
+	}
+	for _, k := range bad {
+		if _, err := DecodeKey(k); err == nil {
+			t.Errorf("DecodeKey(%q) accepted malformed key", k)
+		}
+	}
+}
+
+func TestAppendKeyReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 64)
+	vals := []Value{U64(42)}
+	out := AppendKey(buf, vals, []int{0})
+	if string(out) != Key(vals, []int{0}) {
+		t.Error("AppendKey and Key disagree")
+	}
+	if cap(out) != cap(buf) {
+		t.Error("AppendKey reallocated despite sufficient capacity")
+	}
+}
+
+func TestTupleCloneIndependent(t *testing.T) {
+	orig := Tuple{QID: 3, Level: 2, Vals: []Value{U64(1), Str("x")}}
+	c := orig.Clone()
+	c.Vals[0] = U64(99)
+	if orig.Vals[0].U != 1 {
+		t.Error("Clone shares Vals with original")
+	}
+	if c.QID != 3 || c.Level != 2 {
+		t.Error("Clone dropped metadata")
+	}
+}
+
+func TestTupleLessOrdering(t *testing.T) {
+	a := Tuple{QID: 1, Vals: []Value{U64(1)}}
+	b := Tuple{QID: 2, Vals: []Value{U64(0)}}
+	if !Less(a, b) || Less(b, a) {
+		t.Error("QID should dominate ordering")
+	}
+	c := Tuple{QID: 1, Level: 1, Vals: []Value{U64(0)}}
+	if !Less(a, c) {
+		t.Error("Level should order within a QID")
+	}
+	d := Tuple{QID: 1, Vals: []Value{U64(1), U64(5)}}
+	if !Less(a, d) {
+		t.Error("shorter tuple with equal prefix should order first")
+	}
+}
+
+func TestIPString(t *testing.T) {
+	v := U64(0xC0A80101)
+	if got := v.IPString(); got != "192.168.1.1" {
+		t.Errorf("IPString = %q", got)
+	}
+}
