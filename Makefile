@@ -1,0 +1,26 @@
+# Tier-1 verification gate. `make check` is what CI (and the roadmap) runs.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/telemetry ./internal/runtime ./internal/stream
+
+bench:
+	$(GO) test -bench . -benchmem

@@ -38,6 +38,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/runtime"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/tuple"
 )
 
@@ -292,27 +293,47 @@ func BenchmarkSwitchProcess(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineIngest runs the stream hot path bare and instrumented; the
+// two sub-benchmark numbers bound the telemetry overhead (the acceptance
+// bar is <5% regression). The instrumented variant derives tuples/s from a
+// registry snapshot diff rather than b.N, proving the counters see every
+// tuple the loop pushed.
 func BenchmarkEngineIngest(b *testing.B) {
-	q := query.NewBuilder("q1", 3*time.Second).
-		Filter(query.Eq(fields.TCPFlags, fields.FlagSYN)).
-		Map(query.F(fields.DstIP), query.ConstCol(1)).
-		Reduce(query.AggSum, fields.DstIP).
-		Filter(query.Gt(fields.AggVal, 40)).
-		MustBuild()
-	q.ID = 1
-	engine := stream.NewEngine(nil)
-	if err := engine.Install(q, 0, stream.Partition{LeftStart: 2}); err != nil {
-		b.Fatal(err)
-	}
-	vals := []tuple.Value{tuple.U64(42), tuple.U64(1)}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		engine.IngestTuple(1, 0, stream.SideLeft, vals)
-		if i%100_000 == 99_999 {
-			engine.EndWindow()
+	run := func(b *testing.B, reg *telemetry.Registry) {
+		q := query.NewBuilder("q1", 3*time.Second).
+			Filter(query.Eq(fields.TCPFlags, fields.FlagSYN)).
+			Map(query.F(fields.DstIP), query.ConstCol(1)).
+			Reduce(query.AggSum, fields.DstIP).
+			Filter(query.Gt(fields.AggVal, 40)).
+			MustBuild()
+		q.ID = 1
+		engine := stream.NewEngine(nil)
+		engine.Instrument(reg)
+		if err := engine.Install(q, 0, stream.Partition{LeftStart: 2}); err != nil {
+			b.Fatal(err)
+		}
+		vals := []tuple.Value{tuple.U64(42), tuple.U64(1)}
+		before := reg.Snapshot()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			engine.IngestTuple(1, 0, stream.SideLeft, vals)
+			if i%100_000 == 99_999 {
+				engine.EndWindow()
+			}
+		}
+		b.StopTimer()
+		if reg != nil {
+			diff := reg.Snapshot().Diff(before)
+			tuples := diff.Counter("sonata_stream_tuples_in_total")
+			if tuples != uint64(b.N) {
+				b.Fatalf("registry saw %d tuples, loop pushed %d", tuples, b.N)
+			}
+			b.ReportMetric(float64(tuples)/b.Elapsed().Seconds(), "tuples/s")
 		}
 	}
+	b.Run("bare", func(b *testing.B) { run(b, nil) })
+	b.Run("instrumented", func(b *testing.B) { run(b, telemetry.NewRegistry()) })
 }
 
 func BenchmarkEmitterRoundTrip(b *testing.B) {
@@ -344,14 +365,22 @@ func BenchmarkEndToEndWindow(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	reg := telemetry.NewRegistry()
+	rt.Instrument(reg, nil)
 	frames := w.Frames(2)
 	var pkts int
 	for _, f := range frames {
 		pkts += len(f)
 	}
 	b.SetBytes(int64(pkts))
+	before := reg.Snapshot()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rt.ProcessWindow(frames)
 	}
+	b.StopTimer()
+	// Delivered load straight from the registry: the same number the live
+	// /metrics endpoint would report over this interval.
+	diff := reg.Snapshot().Diff(before)
+	b.ReportMetric(float64(diff.Counter("sonata_runtime_tuples_to_sp_total"))/b.Elapsed().Seconds(), "sp_tuples/s")
 }

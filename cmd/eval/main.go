@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	eval [-scale small|medium|large] [-out dir] [experiment ...]
+//	eval [-scale small|medium|large] [-out dir] [-debug-addr :9090] [experiment ...]
 //
 // Experiments: table3, fig3, fig5, fig7a, fig7b, fig8, fig9, overhead, all.
+//
+// With -debug-addr the process serves /metrics, /debug/vars, and
+// /debug/pprof/ while the experiments run — pprof in particular is the
+// intended way to profile a long "large"-scale run.
 package main
 
 import (
@@ -19,12 +23,25 @@ import (
 	"repro/internal/eval"
 	"repro/internal/pisa"
 	"repro/internal/queries"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "medium", "workload scale: small, medium, or large")
 	outDir := flag.String("out", "", "directory for TSV outputs (optional)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this address")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		reg := telemetry.NewRegistry()
+		eval.DefaultTelemetry = reg // every deployed runtime registers here
+		srv, addr, err := telemetry.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "[eval] debug endpoint on http://%s (/metrics, /debug/vars, /debug/pprof/)\n", addr)
+	}
 
 	var scale eval.Scale
 	switch *scaleFlag {

@@ -7,14 +7,22 @@
 //
 //	sonata [-pcap trace.pcap | -synth] [-queries q1,q2,...] [-mode sonata]
 //	       [-window 3s] [-train 2] [-pkts 100000] [-windows 6] [-v]
+//	       [-debug-addr :9090] [-trace spans.jsonl]
 //
 // Query names follow internal/queries (e.g. newly_opened_tcp_conns,
 // superspreader). The default runs the eight header-field queries.
+//
+// With -debug-addr the process serves live introspection while running:
+// /metrics (Prometheus text format), /debug/vars (expvar), and
+// /debug/pprof/. With -trace it appends one JSONL span per window
+// lifecycle stage (trace slice, switch pass, emitter decode, stream eval,
+// filter update) to the given file ("-" for stderr).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -26,12 +34,14 @@ import (
 	"repro/internal/planner"
 	"repro/internal/queries"
 	"repro/internal/query"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/tuple"
 )
 
 func main() {
 	pcapPath := flag.String("pcap", "", "replay this pcap file instead of synthesizing traffic")
+	synth := flag.Bool("synth", false, "synthesize traffic (the default when -pcap is absent)")
 	queryList := flag.String("queries", "", "comma-separated query names (default: the eight header queries)")
 	modeName := flag.String("mode", "sonata", "plan mode: sonata, all-sp, filter-dp, max-dp, fix-ref")
 	window := flag.Duration("window", 3*time.Second, "query window W")
@@ -39,35 +49,50 @@ func main() {
 	pkts := flag.Int("pkts", 100_000, "synthetic packets per window")
 	nWindows := flag.Int("windows", 6, "synthetic windows")
 	verbose := flag.Bool("v", false, "print every result tuple")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this address")
+	tracePath := flag.String("trace", "", "append per-window lifecycle spans as JSONL to this file (\"-\" for stderr)")
 	flag.Parse()
 
 	mode, err := parseMode(*modeName)
 	if err != nil {
 		fatal(err)
 	}
+	if *pcapPath != "" && *synth {
+		fatal(fmt.Errorf("-pcap and -synth are mutually exclusive"))
+	}
+
+	// Observability: the registry always exists (instrumentation is free
+	// when nothing reads it); the endpoint and tracer are opt-in.
+	reg := telemetry.NewRegistry()
+	if *debugAddr != "" {
+		srv, addr, err := telemetry.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "[sonata] debug endpoint on http://%s (/metrics, /debug/vars, /debug/pprof/)\n", addr)
+	}
+	var tracer *telemetry.Tracer
+	if *tracePath != "" {
+		var w io.Writer = os.Stderr
+		if *tracePath != "-" {
+			f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		tracer = telemetry.NewTracer(w)
+	}
 
 	// Assemble the packet source.
+	slice := tracer.Start(-1, telemetry.StageTraceSlice)
 	var windows [][][]byte
 	if *pcapPath != "" {
-		f, err := os.Open(*pcapPath)
+		windows, err = readPcapWindows(*pcapPath, *window)
 		if err != nil {
 			fatal(err)
-		}
-		recs, err := trace.ReadPcap(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-		total := time.Duration(0)
-		if len(recs) > 0 {
-			total = recs[len(recs)-1].TS + 1
-		}
-		for _, win := range trace.Slice(recs, *window, total) {
-			var frames [][]byte
-			for _, r := range win.Records {
-				frames = append(frames, r.Data)
-			}
-			windows = append(windows, frames)
 		}
 	} else {
 		scale := eval.Scale{PacketsPerWindow: *pkts, Windows: *nWindows,
@@ -80,6 +105,7 @@ func main() {
 			windows = append(windows, w.Frames(i))
 		}
 	}
+	slice.EndAttrs(map[string]uint64{"windows": uint64(len(windows))})
 	if len(windows) <= *trainWindows {
 		fatal(fmt.Errorf("trace has %d windows; need more than the %d training windows", len(windows), *trainWindows))
 	}
@@ -120,6 +146,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	rt.Instrument(reg, tracer)
 	fmt.Fprintln(os.Stderr, "[sonata] plan:")
 	for _, line := range rt.EntrySummary() {
 		fmt.Fprintln(os.Stderr, "  ", line)
@@ -148,6 +175,33 @@ func main() {
 		}
 	}
 	fmt.Printf("cumulative collision rate: %.4f%%\n", rt.CollisionRate()*100)
+}
+
+// readPcapWindows opens, reads, and slices a pcap file into per-window
+// frame batches. The file is closed on every path (including read errors)
+// via the deferred Close.
+func readPcapWindows(path string, window time.Duration) (windows [][][]byte, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := trace.ReadPcap(f)
+	if err != nil {
+		return nil, err
+	}
+	total := time.Duration(0)
+	if len(recs) > 0 {
+		total = recs[len(recs)-1].TS + 1
+	}
+	for _, win := range trace.Slice(recs, window, total) {
+		frames := make([][]byte, 0, len(win.Records))
+		for _, r := range win.Records {
+			frames = append(frames, r.Data)
+		}
+		windows = append(windows, frames)
+	}
+	return windows, nil
 }
 
 func renderTuple(schema tuple.Schema, t []tuple.Value) string {

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/netproto"
 	"repro/internal/pisa"
+	"repro/internal/telemetry"
 )
 
 // DataPlaneServer owns a switch and serves control operations for it.
@@ -164,23 +165,22 @@ func DialDataPlane(conn io.ReadWriter) (*DataPlaneClient, error) {
 // Capabilities returns the switch constraints learned at handshake.
 func (d *DataPlaneClient) Capabilities() pisa.Config { return d.cfg }
 
+// Instrument registers the client's control-channel metrics (frames,
+// bytes, and per-request round-trip time) against reg.
+func (d *DataPlaneClient) Instrument(reg *telemetry.Registry) { d.c.Instrument(reg) }
+
 // Install ships a program to the switch.
 func (d *DataPlaneClient) Install(prog *pisa.Program) error {
-	if err := d.c.Send(netproto.MsgInstall, prog); err != nil {
-		return err
-	}
-	return d.c.Expect(netproto.MsgInstallOK, nil)
+	return d.c.Call(netproto.MsgInstall, prog, netproto.MsgInstallOK, nil)
 }
 
 // UpdateDynTable replaces a dynamic filter's entries.
 func (d *DataPlaneClient) UpdateDynTable(qid uint16, level uint8, side pisa.Side, opIdx int, keys []string) (int, error) {
-	err := d.c.Send(netproto.MsgUpdateTable, &netproto.UpdateTable{
-		QID: qid, Level: level, Side: side, OpIdx: opIdx, Keys: keys})
-	if err != nil {
-		return 0, err
-	}
 	var res netproto.UpdateResult
-	if err := d.c.Expect(netproto.MsgUpdateOK, &res); err != nil {
+	err := d.c.Call(netproto.MsgUpdateTable, &netproto.UpdateTable{
+		QID: qid, Level: level, Side: side, OpIdx: opIdx, Keys: keys},
+		netproto.MsgUpdateOK, &res)
+	if err != nil {
 		return 0, err
 	}
 	return res.Entries, nil
@@ -188,11 +188,8 @@ func (d *DataPlaneClient) UpdateDynTable(qid uint16, level uint8, side pisa.Side
 
 // EndWindow closes the switch window and returns dumps and stats.
 func (d *DataPlaneClient) EndWindow() ([]pisa.RegDump, pisa.WindowStats, error) {
-	if err := d.c.Send(netproto.MsgEndWindow, nil); err != nil {
-		return nil, pisa.WindowStats{}, err
-	}
 	var wd netproto.WindowData
-	if err := d.c.Expect(netproto.MsgWindowData, &wd); err != nil {
+	if err := d.c.Call(netproto.MsgEndWindow, nil, netproto.MsgWindowData, &wd); err != nil {
 		return nil, pisa.WindowStats{}, err
 	}
 	return wd.Dumps, wd.Stats, nil

@@ -19,6 +19,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/pisa"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/tuple"
 )
 
@@ -157,6 +158,30 @@ type Emitter struct {
 	// Stats for the window.
 	frames   uint64
 	badFrame uint64
+	// m holds telemetry handles (zero value when uninstrumented).
+	m emitterMetrics
+}
+
+// emitterMetrics is the monitoring-port slice of the registry.
+type emitterMetrics struct {
+	frames    *telemetry.Counter
+	malformed *telemetry.Counter
+	bytes     *telemetry.Counter
+	dumps     *telemetry.Counter
+}
+
+// Instrument registers the emitter's metrics against reg (nil disables).
+func (e *Emitter) Instrument(reg *telemetry.Registry) {
+	e.m = emitterMetrics{
+		frames: reg.Counter("sonata_emitter_frames_total",
+			"Telemetry frames decoded off the monitoring port."),
+		malformed: reg.Counter("sonata_emitter_malformed_total",
+			"Telemetry frames (or embedded packets) that failed to parse."),
+		bytes: reg.Counter("sonata_emitter_bytes_total",
+			"Encoded telemetry bytes crossing the monitoring port."),
+		dumps: reg.Counter("sonata_emitter_dump_tuples_total",
+			"Register-dump tuples converted into pre-aggregated records."),
+	}
 }
 
 // New returns an emitter delivering into engine. The emitter enables deep
@@ -173,9 +198,12 @@ func New(engine *stream.Engine) *Emitter {
 func (e *Emitter) HandleMirror(m pisa.Mirror) {
 	e.buf = EncodeMirror(e.buf[:0], &m)
 	e.frames++
+	e.m.frames.Inc()
+	e.m.bytes.Add(uint64(len(e.buf)))
 	dec, err := DecodeMirror(e.buf)
 	if err != nil {
 		e.badFrame++
+		e.m.malformed.Inc()
 		return
 	}
 	e.Deliver(&dec)
@@ -197,6 +225,7 @@ func (e *Emitter) Deliver(m *pisa.Mirror) {
 	case m.Packet != nil:
 		if err := e.parser.Parse(m.Packet, &e.pkt); err != nil {
 			e.badFrame++
+			e.m.malformed.Inc()
 			return
 		}
 		if side == stream.SideRight {
@@ -211,6 +240,7 @@ func (e *Emitter) Deliver(m *pisa.Mirror) {
 // tuples merged into the engine's stateful operators — the emitter's "read
 // the aggregated value for each key" role from Section 5.
 func (e *Emitter) HandleDumps(dumps []pisa.RegDump) {
+	e.m.dumps.Add(uint64(len(dumps)))
 	for i := range dumps {
 		d := &dumps[i]
 		side := stream.SideLeft

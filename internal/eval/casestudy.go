@@ -75,6 +75,9 @@ func CaseStudy(scale Scale) (*CaseStudyResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if DefaultTelemetry != nil {
+		rt.Instrument(DefaultTelemetry, nil)
+	}
 
 	res := &CaseStudyResult{Victim: victim, VictimIdentifiedWindow: -1, AttackConfirmedWindow: -1}
 	res.Table = &Table{ID: "fig9", Title: "Zorro case study timeline",

@@ -7,7 +7,14 @@ import (
 	"repro/internal/planner"
 	"repro/internal/query"
 	"repro/internal/runtime"
+	"repro/internal/telemetry"
 )
+
+// DefaultTelemetry, when non-nil, is adopted by every experiment built
+// with NewExperiment (and by CaseStudy): each deployed runtime registers
+// its metrics there. cmd/eval points this at the -debug-addr registry so
+// the figure harness is observable while it runs.
+var DefaultTelemetry *telemetry.Registry
 
 // RunResult summarizes one (query set, plan mode, switch config) execution
 // over the workload's evaluation windows.
@@ -60,13 +67,17 @@ type Experiment struct {
 	W       *Workload
 	Queries []*query.Query
 	Levels  []int
+	// Telemetry, when set, instruments every runtime the experiment deploys
+	// against this registry (cmd/eval's -debug-addr wires it).
+	Telemetry *telemetry.Registry
 
 	training *planner.TrainingResult
 }
 
 // NewExperiment prepares an experiment with the default level menu.
 func NewExperiment(w *Workload, qs []*query.Query) *Experiment {
-	return &Experiment{W: w, Queries: qs, Levels: []int{8, 16, 24}}
+	return &Experiment{W: w, Queries: qs, Levels: []int{8, 16, 24},
+		Telemetry: DefaultTelemetry}
 }
 
 // Training trains lazily and caches.
@@ -97,6 +108,9 @@ func (e *Experiment) Run(cfg pisa.Config, mode planner.Mode) (*RunResult, error)
 	rt, err := runtime.New(plan, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if e.Telemetry != nil {
+		rt.Instrument(e.Telemetry, nil)
 	}
 	res := &RunResult{Mode: mode, Detected: make(map[uint64]bool), PlannedN: plan.ExpectedN()}
 	for _, qp := range plan.Queries {

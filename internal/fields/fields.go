@@ -26,15 +26,15 @@ const (
 	EthType // EtherType (16 bits)
 
 	// Network layer.
-	SrcIP    // IPv4 source address (32 bits, hierarchical)
-	DstIP    // IPv4 destination address (32 bits, hierarchical)
-	SrcIPv6  // IPv6 source address (truncated to 64 bits, hierarchical)
-	DstIPv6  // IPv6 destination address (truncated to 64 bits, hierarchical)
-	Proto    // IP protocol number (8 bits)
-	TTL      // IPv4 time-to-live (8 bits)
-	IPLen    // IPv4 total length (16 bits)
-	IPID     // IPv4 identification (16 bits)
-	DSCP     // IPv4 DSCP/TOS bits (8 bits)
+	SrcIP   // IPv4 source address (32 bits, hierarchical)
+	DstIP   // IPv4 destination address (32 bits, hierarchical)
+	SrcIPv6 // IPv6 source address (truncated to 64 bits, hierarchical)
+	DstIPv6 // IPv6 destination address (truncated to 64 bits, hierarchical)
+	Proto   // IP protocol number (8 bits)
+	TTL     // IPv4 time-to-live (8 bits)
+	IPLen   // IPv4 total length (16 bits)
+	IPID    // IPv4 identification (16 bits)
+	DSCP    // IPv4 DSCP/TOS bits (8 bits)
 
 	// Transport layer.
 	SrcPort  // TCP/UDP source port (16 bits)

@@ -15,8 +15,10 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/pisa"
+	"repro/internal/telemetry"
 )
 
 // MsgType tags each frame.
@@ -101,13 +103,69 @@ type ErrorMsg struct {
 	Text string
 }
 
+// maxMsgType bounds the per-type metric arrays; message types are small
+// consecutive constants.
+const maxMsgType = 16
+
+// connMetrics holds a connection's telemetry handles, pre-registered per
+// message type so the control path never does a map lookup to count.
+type connMetrics struct {
+	framesSent *telemetry.Counter
+	framesRecv *telemetry.Counter
+	bytesSent  *telemetry.Counter
+	bytesRecv  *telemetry.Counter
+	rtt        [maxMsgType]*telemetry.Histogram
+}
+
 // Conn frames gob messages over an io.ReadWriter.
 type Conn struct {
 	rw io.ReadWriter
+	m  connMetrics
 }
 
 // NewConn wraps a transport.
 func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+
+// Instrument registers the connection's metrics against reg (nil
+// disables): frames and bytes in each direction, plus a round-trip-time
+// histogram per request type (observed by Call).
+func (c *Conn) Instrument(reg *telemetry.Registry) {
+	c.m = connMetrics{
+		framesSent: reg.Counter("sonata_netproto_frames_sent_total",
+			"Control-plane frames written."),
+		framesRecv: reg.Counter("sonata_netproto_frames_recv_total",
+			"Control-plane frames read."),
+		bytesSent: reg.Counter("sonata_netproto_bytes_sent_total",
+			"Control-plane bytes written (headers and payloads)."),
+		bytesRecv: reg.Counter("sonata_netproto_bytes_recv_total",
+			"Control-plane bytes read (headers and payloads)."),
+	}
+	if reg == nil {
+		return
+	}
+	for t := MsgType(0); t <= MsgWindowData; t++ {
+		c.m.rtt[t] = reg.Histogram("sonata_netproto_rtt_ns",
+			"Round-trip time of one control request in nanoseconds.",
+			telemetry.DurationBuckets, "type", t.String())
+	}
+}
+
+// Call sends one request frame and waits for the expected response,
+// decoding its payload into out (which may be nil). The round trip is
+// timed into the per-request-type histogram when instrumented.
+func (c *Conn) Call(t MsgType, payload any, want MsgType, out any) error {
+	start := time.Now()
+	if err := c.Send(t, payload); err != nil {
+		return err
+	}
+	if err := c.Expect(want, out); err != nil {
+		return err
+	}
+	if t < maxMsgType {
+		c.m.rtt[t].ObserveDuration(time.Since(start))
+	}
+	return nil
+}
 
 // Send writes one frame: u32 length | u8 type | gob payload.
 func (c *Conn) Send(t MsgType, payload any) error {
@@ -130,6 +188,8 @@ func (c *Conn) Send(t MsgType, payload any) error {
 			return fmt.Errorf("netproto: writing %v body: %w", t, err)
 		}
 	}
+	c.m.framesSent.Inc()
+	c.m.bytesSent.Add(uint64(len(hdr) + body.Len()))
 	return nil
 }
 
@@ -149,6 +209,8 @@ func (c *Conn) RecvRaw() (MsgType, []byte, error) {
 	if _, err := io.ReadFull(c.rw, body); err != nil {
 		return t, nil, fmt.Errorf("netproto: reading %v body: %w", t, io.ErrUnexpectedEOF)
 	}
+	c.m.framesRecv.Inc()
+	c.m.bytesRecv.Add(uint64(len(hdr) + len(body)))
 	if t == MsgError {
 		var e ErrorMsg
 		if err := Decode(body, &e); err != nil {

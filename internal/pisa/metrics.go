@@ -1,0 +1,62 @@
+package pisa
+
+import "repro/internal/telemetry"
+
+// switchMetrics holds the data plane's pre-registered telemetry handles.
+// The zero value (all nil handles) is the uninstrumented mode: every method
+// call on a nil handle is a no-op, so the packet path carries no branch on
+// an "enabled" flag and no map lookups.
+type switchMetrics struct {
+	packets     *telemetry.Counter
+	mirrored    *telemetry.Counter
+	collisions  *telemetry.Counter
+	dumpTuples  *telemetry.Counter
+	dynUpdates  *telemetry.Counter
+	regUsed     *telemetry.Gauge
+	regCapacity *telemetry.Gauge
+}
+
+// Instrument registers the switch's metrics against reg (nil disables).
+// Call once after NewSwitch; the register-capacity gauge is fixed at that
+// point, occupancy updates at every window boundary.
+func (sw *Switch) Instrument(reg *telemetry.Registry) {
+	sw.m = switchMetrics{
+		packets: reg.Counter("sonata_switch_packets_total",
+			"Frames processed by the data plane."),
+		mirrored: reg.Counter("sonata_switch_mirrored_total",
+			"Mirror reports sent out the monitoring port."),
+		collisions: reg.Counter("sonata_switch_collisions_total",
+			"Stateful updates that overflowed all register chains."),
+		dumpTuples: reg.Counter("sonata_switch_dump_tuples_total",
+			"Aggregated (key, value) pairs dumped at window boundaries."),
+		dynUpdates: reg.Counter("sonata_switch_dyn_table_updates_total",
+			"Dynamic filter entries written by refinement updates."),
+		regUsed: reg.Gauge("sonata_switch_register_entries_used",
+			"Register slots occupied at the last window boundary."),
+		regCapacity: reg.Gauge("sonata_switch_register_entries_capacity",
+			"Total register slots across all installed banks."),
+	}
+	sw.m.regCapacity.Set(sw.registerCapacity())
+}
+
+// registerCapacity totals the slots of every installed bank.
+func (sw *Switch) registerCapacity() int64 {
+	var total int64
+	for _, st := range sw.insts {
+		for _, bank := range st.banks {
+			total += int64(bank.Capacity())
+		}
+	}
+	return total
+}
+
+// registerOccupancy totals the keys currently stored across banks.
+func (sw *Switch) registerOccupancy() int64 {
+	var total int64
+	for _, st := range sw.insts {
+		for _, bank := range st.banks {
+			total += int64(bank.Stored())
+		}
+	}
+	return total
+}

@@ -135,6 +135,9 @@ func (b *RegisterBank) Reset() uint64 {
 // Stored returns the number of keys currently held.
 func (b *RegisterBank) Stored() int { return b.stored }
 
+// Capacity returns the total slot count across all chains.
+func (b *RegisterBank) Capacity() int { return b.entries * len(b.chains) }
+
 // Collisions returns the number of failed updates this window.
 func (b *RegisterBank) Collisions() uint64 { return b.collisions }
 

@@ -86,6 +86,9 @@ type Switch struct {
 	// tableUpdates counts dynamic filter entry updates (the refinement
 	// overhead micro-benchmark).
 	tableUpdates uint64
+	// m holds pre-registered telemetry handles; the zero value is the
+	// uninstrumented (free) mode.
+	m switchMetrics
 }
 
 // NewSwitch validates and installs a program. The mirror callback receives
@@ -142,6 +145,7 @@ func (sw *Switch) UpdateDynTable(qid uint16, level uint8, side Side, opIdx int, 
 				}
 				st.dynRules[t] = set
 				sw.tableUpdates += uint64(len(keys))
+				sw.m.dynUpdates.Add(uint64(len(keys)))
 				return len(keys), nil
 			}
 		}
@@ -161,6 +165,7 @@ func (sw *Switch) TableUpdates() uint64 { return sw.tableUpdates }
 // traffic.
 func (sw *Switch) Process(frame []byte) int {
 	sw.stats.PacketsIn++
+	sw.m.packets.Inc()
 	if err := sw.parser.Parse(frame, &sw.scratch); err != nil && !errors.Is(err, packet.ErrUnsupportedLayer) {
 		return 0
 	}
@@ -260,6 +265,7 @@ func (sw *Switch) processInstance(st *instState, pkt *packetView) bool {
 				// Collision overflow: shunt to the stream processor, which
 				// executes the stateful op itself for this packet.
 				sw.stats.Collisions++
+				sw.m.collisions.Inc()
 				m := Mirror{QID: spec.QID, Level: spec.Level, Side: spec.Side,
 					Overflow: true, MergeOp: tab.OpIdx, Vals: vals}
 				if spec.NeedsPacket {
@@ -315,6 +321,7 @@ func (sw *Switch) processInstance(st *instState, pkt *packetView) bool {
 
 func (sw *Switch) emit(m Mirror) {
 	sw.stats.Mirrored++
+	sw.m.mirrored.Inc()
 	sw.mirror(m)
 }
 
@@ -329,6 +336,8 @@ func statefulFunc(o *query.Op) query.AggFunc {
 // EndWindow dumps and resets every register bank, returning the aggregated
 // tuples (filtered by any merged threshold) and the closing window's stats.
 func (sw *Switch) EndWindow() ([]RegDump, WindowStats) {
+	// Occupancy peaks at the window boundary; sample it before the reset.
+	sw.m.regUsed.Set(sw.registerOccupancy())
 	var dumps []RegDump
 	for _, st := range sw.insts {
 		spec := st.spec
@@ -352,6 +361,7 @@ func (sw *Switch) EndWindow() ([]RegDump, WindowStats) {
 		}
 	}
 	sw.stats.DumpTuples = uint64(len(dumps))
+	sw.m.dumpTuples.Add(sw.stats.DumpTuples)
 	stats := sw.stats
 	sw.stats = WindowStats{}
 	return dumps, stats

@@ -131,7 +131,7 @@ func (p *Plan) ExpectedN() uint64 {
 // candidate is one explorable plan for a single query: a refinement path
 // and per-edge cuts.
 type candidate struct {
-	path []int // levels, coarse to fine; empty prev handled implicitly
+	path []int    // levels, coarse to fine; empty prev handled implicitly
 	cuts [][2]int // per path element: {leftCut, rightCut}
 	cost uint64
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/pisa"
 	"repro/internal/planner"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/tuple"
 )
 
@@ -55,6 +56,14 @@ type Runtime struct {
 	// collisionSum tracks cumulative collisions for the re-planning signal.
 	collisionSum uint64
 	packetsSum   uint64
+	// Telemetry: m holds registry handles, tracer records lifecycle spans
+	// (both inert until Instrument). windowStart anchors the window-duration
+	// histogram; lastKeys fingerprints each link's refinement key set for
+	// the transition counter.
+	m           runtimeMetrics
+	tracer      *telemetry.Tracer
+	windowStart time.Time
+	lastKeys    map[int]string
 }
 
 type link struct {
@@ -75,7 +84,7 @@ func New(plan *planner.Plan, cfg pisa.Config) (*Runtime, error) {
 		return nil, fmt.Errorf("runtime: installing switch program: %w", err)
 	}
 	r := &Runtime{plan: plan, cfg: cfg, sw: sw, engine: engine, em: em,
-		finest: make(map[uint16]uint8)}
+		finest: make(map[uint16]uint8), lastKeys: make(map[int]string)}
 
 	for _, qp := range plan.Queries {
 		for li, lp := range qp.Levels {
@@ -126,22 +135,41 @@ func (r *Runtime) Plan() *planner.Plan { return r.plan }
 // the window on both components, applies refinement updates for the next
 // window, and reports.
 func (r *Runtime) ProcessWindow(frames [][]byte) *WindowReport {
+	r.markWindowStart()
+	sp := r.tracer.Start(r.window, telemetry.StageSwitchPass)
 	for _, f := range frames {
 		r.sw.Process(f)
 	}
+	sp.EndAttrs(map[string]uint64{"frames": uint64(len(frames))})
 	return r.closeWindow()
 }
 
 // Process pushes a single frame (streaming use; pair with CloseWindow).
-func (r *Runtime) Process(frame []byte) { r.sw.Process(frame) }
+func (r *Runtime) Process(frame []byte) {
+	r.markWindowStart()
+	r.sw.Process(frame)
+}
+
+// markWindowStart anchors the window-duration measurement at the first
+// frame of each window.
+func (r *Runtime) markWindowStart() {
+	if r.windowStart.IsZero() {
+		r.windowStart = time.Now()
+	}
+}
 
 // CloseWindow ends the current window explicitly.
 func (r *Runtime) CloseWindow() *WindowReport { return r.closeWindow() }
 
 func (r *Runtime) closeWindow() *WindowReport {
+	ed := r.tracer.Start(r.window, telemetry.StageEmitterDecode)
 	dumps, stats := r.sw.EndWindow()
 	r.em.HandleDumps(dumps)
+	ed.EndAttrs(map[string]uint64{"dump_tuples": uint64(len(dumps))})
+
+	se := r.tracer.Start(r.window, telemetry.StageStreamEval)
 	results, metrics := r.engine.EndWindow()
+	se.EndAttrs(map[string]uint64{"tuples_in": metrics.TuplesIn})
 	// Register dumps become tuples at the stream processor; count them into
 	// the headline metric like any other delivered tuple.
 	rep := &WindowReport{
@@ -151,7 +179,6 @@ func (r *Runtime) closeWindow() *WindowReport {
 		PerQuery:   metrics.PerQuery,
 		Switch:     stats,
 	}
-	r.window++
 	r.collisionSum += stats.Collisions
 	r.packetsSum += stats.PacketsIn
 	rep.EmitterFrames, rep.EmitterMalformed = r.em.WindowStats()
@@ -163,8 +190,9 @@ func (r *Runtime) closeWindow() *WindowReport {
 	}
 
 	// Dynamic refinement: level From's results gate level To next window.
+	fu := r.tracer.Start(r.window, telemetry.StageFilterUpdate)
 	start := time.Now()
-	for _, l := range r.links {
+	for li, l := range r.links {
 		keys := r.refinedKeys(results, l)
 		table := planner.DynTableName(l.qid, int(l.to))
 		r.engine.Dyn().Replace(table, keys)
@@ -177,8 +205,25 @@ func (r *Runtime) closeWindow() *WindowReport {
 			}
 		}
 		rep.FilterUpdates += len(keys) // the SP-side table update
+		if fp := keyFingerprint(keys); fp != r.lastKeys[li] {
+			r.lastKeys[li] = fp
+			r.m.refTransitions.Inc()
+		}
 	}
 	rep.UpdateDuration = time.Since(start)
+	fu.EndAttrs(map[string]uint64{"entries": uint64(rep.FilterUpdates)})
+
+	// Feed the registry with the same values the report carries.
+	r.m.windows.Inc()
+	r.m.windowIndex.Set(int64(rep.Index))
+	r.m.tuplesToSP.Add(rep.TuplesToSP)
+	r.m.filterUpdates.Add(uint64(rep.FilterUpdates))
+	r.m.filterUpdateNS.ObserveDuration(rep.UpdateDuration)
+	if !r.windowStart.IsZero() {
+		r.m.windowNS.ObserveDuration(time.Since(r.windowStart))
+		r.windowStart = time.Time{}
+	}
+	r.window++
 	return rep
 }
 

@@ -1,0 +1,167 @@
+package runtime
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pisa"
+	"repro/internal/planner"
+	"repro/internal/query"
+	"repro/internal/telemetry"
+)
+
+// TestRegistryMatchesWindowReports is the consistency contract: after a
+// multi-window run, the cumulative registry counters must equal the sums of
+// the per-window WindowReport fields — both views come from the same
+// increments, so any drift is a bug.
+func TestRegistryMatchesWindowReports(t *testing.T) {
+	g, train := buildWorkload(t, 5000, 5)
+	qs := []*query.Query{q1(100)}
+	cfg := pisa.DefaultConfig()
+	plan := planFor(t, qs, train, cfg, planner.ModeSonata)
+	rt, err := New(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	rt.Instrument(reg, nil)
+
+	var tuplesToSP, packets, collisions uint64
+	var filterUpdates, windows uint64
+	for w := 0; w < g.Windows(); w++ {
+		rep := rt.ProcessWindow(framesOf(g.WindowRecords(w)))
+		tuplesToSP += rep.TuplesToSP
+		packets += rep.Switch.PacketsIn
+		collisions += rep.Switch.Collisions
+		filterUpdates += uint64(rep.FilterUpdates)
+		windows++
+	}
+	if tuplesToSP == 0 {
+		t.Fatal("workload produced no tuples; test is vacuous")
+	}
+
+	s := reg.Snapshot()
+	checks := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"sonata_runtime_tuples_to_sp_total", s.Counter("sonata_runtime_tuples_to_sp_total"), tuplesToSP},
+		{"sonata_stream_tuples_in_total", s.Counter("sonata_stream_tuples_in_total"), tuplesToSP},
+		{"sonata_runtime_windows_total", s.Counter("sonata_runtime_windows_total"), windows},
+		{"sonata_runtime_filter_updates_total", s.Counter("sonata_runtime_filter_updates_total"), filterUpdates},
+		{"sonata_switch_packets_total", s.Counter("sonata_switch_packets_total"), packets},
+		{"sonata_switch_collisions_total", s.Counter("sonata_switch_collisions_total"), collisions},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d (sum of WindowReports)", c.name, c.got, c.want)
+		}
+	}
+
+	// The per-query breakdown must also total to the engine-wide counter.
+	if got := s.CounterSum("sonata_stream_query_tuples_in_total{"); got != tuplesToSP {
+		t.Errorf("per-query tuple counters sum to %d, want %d", got, tuplesToSP)
+	}
+	// Window timing: one observation per window, non-zero total.
+	hv := s.Histograms["sonata_runtime_window_ns"]
+	if hv.Count != windows {
+		t.Errorf("window_ns count = %d, want %d", hv.Count, windows)
+	}
+	if hv.Sum == 0 {
+		t.Error("window_ns sum = 0; windows cannot take zero time")
+	}
+	if got := s.Gauges["sonata_runtime_window_index"]; got != int64(windows-1) {
+		t.Errorf("window_index = %d, want %d", got, windows-1)
+	}
+}
+
+// TestTracerSpansPerWindow runs a few windows with a tracer attached and
+// asserts the lifecycle contract: each processed window emits exactly one
+// span per pipeline stage, with non-zero durations, and the stream round-
+// trips through encoding/json.
+func TestTracerSpansPerWindow(t *testing.T) {
+	g, train := buildWorkload(t, 4000, 4)
+	qs := []*query.Query{q1(100)}
+	cfg := pisa.DefaultConfig()
+	plan := planFor(t, qs, train, cfg, planner.ModeSonata)
+	rt, err := New(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tracer := telemetry.NewTracer(&buf)
+	rt.Instrument(nil, tracer) // nil registry: tracer works standalone
+
+	const nWindows = 3
+	for w := 0; w < nWindows; w++ {
+		rt.ProcessWindow(framesOf(g.WindowRecords(w)))
+	}
+	if err := tracer.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, err := telemetry.ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per window: switch_pass, emitter_decode, stream_eval, filter_update.
+	// (trace_slice is emitted by the caller that assembles the input.)
+	wantStages := []string{
+		telemetry.StageSwitchPass, telemetry.StageEmitterDecode,
+		telemetry.StageStreamEval, telemetry.StageFilterUpdate,
+	}
+	if len(spans) != nWindows*len(wantStages) {
+		t.Fatalf("got %d spans, want %d (%d windows x %d stages)",
+			len(spans), nWindows*len(wantStages), nWindows, len(wantStages))
+	}
+	perWindow := map[int]map[string]int{}
+	for _, s := range spans {
+		if s.DurationNS <= 0 {
+			t.Errorf("span %s window %d has duration %d, want > 0", s.Stage, s.Window, s.DurationNS)
+		}
+		if perWindow[s.Window] == nil {
+			perWindow[s.Window] = map[string]int{}
+		}
+		perWindow[s.Window][s.Stage]++
+	}
+	for w := 0; w < nWindows; w++ {
+		for _, stage := range wantStages {
+			if perWindow[w][stage] != 1 {
+				t.Errorf("window %d stage %s: %d spans, want exactly 1", w, stage, perWindow[w][stage])
+			}
+		}
+	}
+}
+
+// TestInstrumentNilSafe makes sure an uninstrumented runtime (the default)
+// and a nil-registry instrumentation both process windows normally.
+func TestInstrumentNilSafe(t *testing.T) {
+	g, train := buildWorkload(t, 3000, 3)
+	qs := []*query.Query{q1(100)}
+	cfg := pisa.DefaultConfig()
+	plan := planFor(t, qs, train, cfg, planner.ModeSonata)
+	rt, err := New(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Instrument(nil, nil)
+	rep := rt.ProcessWindow(framesOf(g.WindowRecords(2)))
+	if rep.Switch.PacketsIn == 0 {
+		t.Fatal("window did not process")
+	}
+}
+
+func TestKeyFingerprint(t *testing.T) {
+	a := keyFingerprint([]string{"b", "a", "c"})
+	b := keyFingerprint([]string{"c", "b", "a"})
+	if a != b {
+		t.Error("fingerprint must be order-independent")
+	}
+	if keyFingerprint(nil) != "" {
+		t.Error("empty key set must fingerprint to empty string")
+	}
+	if keyFingerprint([]string{"a"}) == keyFingerprint([]string{"b"}) {
+		t.Error("distinct key sets must differ")
+	}
+}

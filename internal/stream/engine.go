@@ -3,10 +3,12 @@ package stream
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/fields"
 	"repro/internal/packet"
 	"repro/internal/query"
+	"repro/internal/telemetry"
 	"repro/internal/tuple"
 )
 
@@ -85,6 +87,10 @@ type runningQuery struct {
 	pending     []joinItem
 	joinKeyIdxL []int // join key columns in left output schema (tuple-left)
 	rightKeyIdx []int // join key columns in right output schema
+
+	// m holds the instance's pre-registered telemetry series (zero value
+	// when the engine is uninstrumented).
+	m queryMetrics
 }
 
 // Engine hosts the installed query instances and processes one window at a
@@ -95,6 +101,10 @@ type Engine struct {
 	queries map[QueryKey]*runningQuery
 	order   []QueryKey
 	metrics Metrics
+	// reg/m carry the telemetry registry and engine-wide handles; nil
+	// handles (uninstrumented) make every increment a no-op.
+	reg *telemetry.Registry
+	m   engineMetrics
 }
 
 // NewEngine returns an engine sharing the given dynamic filter tables with
@@ -162,6 +172,7 @@ func (e *Engine) Install(q *query.Query, level uint8, part Partition) error {
 	if _, exists := e.queries[rq.key]; !exists {
 		e.order = append(e.order, rq.key)
 	}
+	e.instrumentQuery(rq)
 	e.queries[rq.key] = rq
 	return nil
 }
@@ -180,9 +191,11 @@ func (e *Engine) instance(qid uint16, level uint8) *runningQuery {
 	return rq
 }
 
-func (e *Engine) count(k QueryKey) {
+func (e *Engine) count(rq *runningQuery) {
 	e.metrics.TuplesIn++
-	e.metrics.PerQuery[k]++
+	e.metrics.PerQuery[rq.key]++
+	e.m.tuplesIn.Inc()
+	rq.m.tuplesIn.Inc()
 }
 
 // IngestPacket delivers a raw (or mirrored) packet to the left pipeline of
@@ -190,7 +203,7 @@ func (e *Engine) count(k QueryKey) {
 // nothing aliases it past this call.
 func (e *Engine) IngestPacket(qid uint16, level uint8, pkt *packet.Packet) {
 	rq := e.instance(qid, level)
-	e.count(rq.key)
+	e.count(rq)
 	if rq.packetLeft {
 		e.ingestPacketLeft(rq, pkt)
 		return
@@ -201,7 +214,7 @@ func (e *Engine) IngestPacket(qid uint16, level uint8, pkt *packet.Packet) {
 // IngestRightPacket delivers a raw packet to the right (joined) pipeline.
 func (e *Engine) IngestRightPacket(qid uint16, level uint8, pkt *packet.Packet) {
 	rq := e.instance(qid, level)
-	e.count(rq.key)
+	e.count(rq)
 	if rq.right == nil {
 		panic(fmt.Sprintf("stream: q%d has no right pipeline", qid))
 	}
@@ -249,7 +262,7 @@ func (e *Engine) ingestPacketLeft(rq *runningQuery, pkt *packet.Packet) {
 // the given side.
 func (e *Engine) IngestTuple(qid uint16, level uint8, side Side, vals []tuple.Value) {
 	rq := e.instance(qid, level)
-	e.count(rq.key)
+	e.count(rq)
 	switch side {
 	case SideLeft:
 		rq.left.ingestTuple(rq.part.LeftStart, vals)
@@ -266,7 +279,7 @@ func (e *Engine) IngestTuple(qid uint16, level uint8, side Side, vals []tuple.Va
 // input tuple and the stream processor runs the operator itself.
 func (e *Engine) IngestTupleAt(qid uint16, level uint8, side Side, opIdx int, vals []tuple.Value) {
 	rq := e.instance(qid, level)
-	e.count(rq.key)
+	e.count(rq)
 	ex := e.execFor(rq, side)
 	ex.ingestTuple(opIdx, vals)
 }
@@ -290,7 +303,7 @@ func (e *Engine) execFor(rq *runningQuery, side Side) *pipeExec {
 // itself during the window.
 func (e *Engine) IngestAgg(qid uint16, level uint8, side Side, opIdx int, keyVals []tuple.Value, agg uint64) {
 	rq := e.instance(qid, level)
-	e.count(rq.key)
+	e.count(rq)
 	e.execFor(rq, side).mergeAgg(opIdx, keyVals, agg)
 }
 
@@ -302,6 +315,7 @@ func (e *Engine) EndWindow() ([]Result, Metrics) {
 	results := make([]Result, 0, len(e.order))
 	for _, key := range e.order {
 		rq := e.queries[key]
+		start := time.Now()
 		res := Result{QID: key.QID, Level: key.Level, Schema: rq.q.FinalSchema()}
 		if rq.q.HasJoin() {
 			e.endJoin(rq, &res)
@@ -309,6 +323,11 @@ func (e *Engine) EndWindow() ([]Result, Metrics) {
 			res.Tuples = rq.left.endWindow()
 		}
 		sortTuples(res.Tuples)
+		elapsed := time.Since(start)
+		rq.m.evalNS.ObserveDuration(elapsed)
+		e.m.evalNS.ObserveDuration(elapsed)
+		rq.m.results.Add(uint64(len(res.Tuples)))
+		e.m.resultTuples.Add(uint64(len(res.Tuples)))
 		results = append(results, res)
 	}
 	m := e.metrics

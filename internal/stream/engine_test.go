@@ -231,8 +231,8 @@ func TestPacketPhaseJoinZorro(t *testing.T) {
 			e.IngestRightPacket(10, 0, &pkt)
 		}
 	}
-	telnet(victim, "admin", 10)       // similar-sized brute force
-	telnet(victim, "run zorro go", 2) // keyword after shell
+	telnet(victim, "admin", 10)          // similar-sized brute force
+	telnet(victim, "run zorro go", 2)    // keyword after shell
 	telnet(bystander, "run zorro go", 1) // keyword but low volume: no match
 
 	results, _ := e.EndWindow()

@@ -1,0 +1,52 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkTelemetryCounter is the headline hot-path number: one atomic add
+// per Inc, zero allocations.
+func BenchmarkTelemetryCounter(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter("bench_total", "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != uint64(b.N) {
+		b.Fatal("lost increments")
+	}
+}
+
+// BenchmarkTelemetryCounterNil measures the disabled path — the cost an
+// uninstrumented deployment pays for instrumentation left in place.
+func BenchmarkTelemetryCounterNil(b *testing.B) {
+	var reg *Registry
+	c := reg.Counter("bench_total", "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkTelemetryCounterParallel shows contention behaviour across
+// GOMAXPROCS goroutines sharing one handle.
+func BenchmarkTelemetryCounterParallel(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter("bench_total", "x")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+// BenchmarkTelemetryHistogram measures the bucket scan on the standard
+// duration bounds.
+func BenchmarkTelemetryHistogram(b *testing.B) {
+	reg := NewRegistry()
+	h := reg.Histogram("bench_ns", "x", DurationBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i) % 2_000_000)
+	}
+}

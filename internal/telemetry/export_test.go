@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact text exposition output for a
+// registry exercising every metric kind, labeled and unlabeled.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sonata_frames_total", "frames seen").Add(42)
+	// Labels render sorted by key regardless of registration order.
+	reg.Counter("sonata_tuples_total", "tuples per query", "qid", "1", "level", "16").Add(7)
+	reg.Counter("sonata_tuples_total", "tuples per query", "qid", "2", "level", "24").Add(9)
+	reg.Gauge("sonata_register_entries_used", "occupancy").Set(128)
+	h := reg.Histogram("sonata_window_ns", "window duration", []uint64{100, 1000})
+	h.Observe(50)
+	h.Observe(500)
+	h.Observe(5000)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+
+	want := `# HELP sonata_frames_total frames seen
+# TYPE sonata_frames_total counter
+sonata_frames_total 42
+# HELP sonata_tuples_total tuples per query
+# TYPE sonata_tuples_total counter
+sonata_tuples_total{level="16",qid="1"} 7
+sonata_tuples_total{level="24",qid="2"} 9
+# HELP sonata_register_entries_used occupancy
+# TYPE sonata_register_entries_used gauge
+sonata_register_entries_used 128
+# HELP sonata_window_ns window duration
+# TYPE sonata_window_ns histogram
+sonata_window_ns_bucket{le="100"} 1
+sonata_window_ns_bucket{le="1000"} 2
+sonata_window_ns_bucket{le="+Inf"} 3
+sonata_window_ns_sum 5550
+sonata_window_ns_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("Prometheus output mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusLabeledHistogram checks the le label merges into an
+// existing label set instead of replacing it.
+func TestPrometheusLabeledHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("rtt_ns", "round trip", []uint64{10}, "type", "install")
+	h.Observe(5)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	for _, line := range []string{
+		`rtt_ns_bucket{type="install",le="10"} 1`,
+		`rtt_ns_bucket{type="install",le="+Inf"} 1`,
+		`rtt_ns_sum{type="install"} 5`,
+		`rtt_ns_count{type="install"} 1`,
+	} {
+		if !strings.Contains(b.String(), line+"\n") {
+			t.Errorf("output missing %q\ngot:\n%s", line, b.String())
+		}
+	}
+}
+
+// TestDebugMux drives the introspection endpoint in-process: /metrics must
+// serve the text format, /debug/vars must include the registry snapshot
+// under "sonata", and /debug/pprof/ must answer.
+func TestDebugMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sonata_test_hits_total", "hits").Add(3)
+	srv := httptest.NewServer(NewDebugMux(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: reading body: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "sonata_test_hits_total 3") {
+		t.Errorf("/metrics: code %d, body %q", code, body)
+	}
+	code, body := get("/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars: code %d", code)
+	}
+	var vars struct {
+		Sonata Snapshot `json:"sonata"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if vars.Sonata.Counters["sonata_test_hits_total"] != 3 {
+		t.Errorf("expvar snapshot = %+v, want counter 3", vars.Sonata.Counters)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/: code %d", code)
+	}
+}
+
+// TestServeDebug exercises the real listener path used by -debug-addr,
+// binding port 0 so the test never collides.
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "x").Inc()
+	srv, addr, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "up_total 1") {
+		t.Errorf("metrics body missing counter: %q", body)
+	}
+}

@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one counter, gauge, and histogram from
+// many goroutines; run under -race this doubles as the data-race proof,
+// and the final values prove no increment was lost.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "test counter")
+	g := reg.Gauge("g", "test gauge")
+	h := reg.Histogram("h_ns", "test histogram", []uint64{10, 100, 1000})
+
+	const workers = 8
+	const perWorker = 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(seed + uint64(i)%1500)
+			}
+		}(uint64(w))
+	}
+	// Concurrent registration of the same series must return the same
+	// handle, not a fresh one.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			if reg.Counter("c_total", "test counter") != c {
+				t.Error("re-registration returned a different handle")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Errorf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	buckets := h.Buckets()
+	if buckets[len(buckets)-1] != workers*perWorker {
+		t.Errorf("+Inf bucket = %d, want %d", buckets[len(buckets)-1], workers*perWorker)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound (le)
+// semantics at every boundary.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []uint64{10, 100, 1000}
+	cases := []struct {
+		v    uint64
+		want int // bucket index the raw observation lands in
+	}{
+		{0, 0},
+		{9, 0},
+		{10, 0},   // on the bound: le semantics include it
+		{11, 1},   // just past the first bound
+		{100, 1},  // on the second bound
+		{101, 2},  // just past
+		{1000, 2}, // on the last bound
+		{1001, 3}, // overflow lands in +Inf
+		{^uint64(0), 3},
+	}
+	for _, tc := range cases {
+		reg := NewRegistry()
+		h := reg.Histogram("h", "boundary test", bounds)
+		h.Observe(tc.v)
+		buckets := h.Buckets() // cumulative
+		for i, cum := range buckets {
+			want := uint64(0)
+			if i >= tc.want {
+				want = 1 // cumulative: every bucket at/after the landing one
+			}
+			if cum != want {
+				t.Errorf("Observe(%d): bucket[%d] = %d, want %d", tc.v, i, cum, want)
+			}
+		}
+		if h.Sum() != tc.v {
+			t.Errorf("Observe(%d): sum = %d", tc.v, h.Sum())
+		}
+	}
+}
+
+// TestNilHandles checks the disabled mode: a nil registry hands out nil
+// handles whose every method is a safe no-op.
+func TestNilHandles(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("c_total", "x")
+	g := reg.Gauge("g", "x")
+	h := reg.Histogram("h", "x", []uint64{1})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil handles")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(42)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles must read as zero")
+	}
+	if got := h.Buckets(); got != nil {
+		t.Errorf("nil histogram buckets = %v, want nil", got)
+	}
+	// Nil registry snapshot diffs cleanly against a real one.
+	s := reg.Snapshot()
+	if len(s.Counters) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+// TestHotPathAllocationFree is the acceptance criterion: counter and gauge
+// increments and histogram observations allocate nothing, instrumented or
+// not.
+func TestHotPathAllocationFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "x")
+	g := reg.Gauge("g", "x")
+	h := reg.Histogram("h", "x", DurationBuckets)
+	var nilC *Counter
+	var nilG *Gauge
+	var nilH *Histogram
+
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(7) }},
+		{"Gauge.Add", func() { g.Add(-2) }},
+		{"Histogram.Observe", func() { h.Observe(12345) }},
+		{"nil Counter.Inc", func() { nilC.Inc() }},
+		{"nil Gauge.Set", func() { nilG.Set(1) }},
+		{"nil Histogram.Observe", func() { nilH.Observe(1) }},
+	}
+	for _, tc := range checks {
+		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("tuples_total", "x", "qid", "1")
+	c2 := reg.Counter("tuples_total", "x", "qid", "2")
+	g := reg.Gauge("occupancy", "x")
+	h := reg.Histogram("lat", "x", []uint64{10})
+
+	c.Add(10)
+	c2.Add(1)
+	g.Set(5)
+	h.Observe(4)
+	before := reg.Snapshot()
+
+	c.Add(7)
+	c2.Add(2)
+	g.Set(9)
+	h.Observe(20)
+	diff := reg.Snapshot().Diff(before)
+
+	if got := diff.Counter(`tuples_total{qid="1"}`); got != 7 {
+		t.Errorf("diff counter qid=1 = %d, want 7", got)
+	}
+	if got := diff.CounterSum("tuples_total"); got != 9 {
+		t.Errorf("diff family sum = %d, want 9", got)
+	}
+	if got := diff.Gauges["occupancy"]; got != 9 {
+		t.Errorf("diff gauge = %d, want current value 9", got)
+	}
+	hv := diff.Histograms["lat"]
+	if hv.Count != 1 || hv.Sum != 20 {
+		t.Errorf("diff histogram = %+v, want count 1 sum 20", hv)
+	}
+	if hv.Buckets[0] != 0 || hv.Buckets[1] != 1 {
+		t.Errorf("diff histogram buckets = %v, want [0 1]", hv.Buckets)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge must panic")
+		}
+	}()
+	reg := NewRegistry()
+	reg.Counter("m", "x")
+	reg.Gauge("m", "x")
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import "strings"
+
+// HistogramValue is the frozen state of one histogram series.
+type HistogramValue struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Bounds  []uint64 `json:"bounds"`
+	Buckets []uint64 `json:"buckets"` // cumulative, le semantics, +Inf last
+}
+
+// Snapshot is a point-in-time copy of every registered series. Snapshots
+// are plain values: diff two of them to get per-interval rates, or hand one
+// to encoding/json for the expvar view.
+type Snapshot struct {
+	Counters   map[string]uint64         `json:"counters"`
+	Gauges     map[string]int64          `json:"gauges"`
+	Histograms map[string]HistogramValue `json:"histograms"`
+}
+
+// Snapshot freezes the registry. A nil registry yields an empty (but
+// non-nil-mapped) snapshot so callers can diff unconditionally.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramValue),
+	}
+	r.each(func(m *metric) {
+		switch m.kind {
+		case kindCounter:
+			s.Counters[m.name()] = m.c.Value()
+		case kindGauge:
+			s.Gauges[m.name()] = m.g.Value()
+		case kindHistogram:
+			s.Histograms[m.name()] = HistogramValue{
+				Count:   m.h.Count(),
+				Sum:     m.h.Sum(),
+				Bounds:  append([]uint64(nil), m.h.bounds...),
+				Buckets: m.h.Buckets(),
+			}
+		}
+	})
+	return s
+}
+
+// Diff returns the change from prev to s: counters and histogram
+// counts/sums are subtracted (series absent from prev read as zero), gauges
+// keep their current value. Benchmarks use this to turn cumulative
+// counters into per-run deltas.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramValue, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		d.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		d.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		p := prev.Histograms[name]
+		dh := HistogramValue{
+			Count:  h.Count - p.Count,
+			Sum:    h.Sum - p.Sum,
+			Bounds: h.Bounds,
+		}
+		dh.Buckets = append([]uint64(nil), h.Buckets...)
+		for i := range dh.Buckets {
+			if i < len(p.Buckets) {
+				dh.Buckets[i] -= p.Buckets[i]
+			}
+		}
+		d.Histograms[name] = dh
+	}
+	return d
+}
+
+// Counter returns one counter series by full name (including any rendered
+// labels), zero if absent.
+func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// CounterSum sums every counter series whose name starts with prefix —
+// the way to total a labeled family such as
+// sonata_stream_tuples_in_total{...} across its instances.
+func (s Snapshot) CounterSum(prefix string) uint64 {
+	var total uint64
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, prefix) {
+			total += v
+		}
+	}
+	return total
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Lifecycle stage names for the per-window pipeline trace. One span per
+// stage per window, in this order:
+const (
+	StageTraceSlice    = "trace_slice"    // slicing the input into windows
+	StageSwitchPass    = "switch_pass"    // packets through the data plane
+	StageEmitterDecode = "emitter_decode" // register dumps through the emitter
+	StageStreamEval    = "stream_eval"    // stream-processor window close
+	StageFilterUpdate  = "filter_update"  // dynamic-refinement table writes
+)
+
+// Span is one timed stage of one window's lifecycle. It serializes to a
+// single JSONL line and round-trips through encoding/json.
+type Span struct {
+	Window     int               `json:"window"`
+	Stage      string            `json:"stage"`
+	StartNS    int64             `json:"start_ns"` // unix nanoseconds
+	DurationNS int64             `json:"duration_ns"`
+	Attrs      map[string]uint64 `json:"attrs,omitempty"`
+}
+
+// Tracer appends spans as JSONL to a writer. It is safe for concurrent use
+// and a nil *Tracer is a no-op, so components can carry one unconditionally.
+type Tracer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	enc   *json.Encoder
+	spans uint64
+	err   error
+}
+
+// NewTracer returns a tracer writing one JSON object per line to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, enc: json.NewEncoder(w)}
+}
+
+// Record writes one span.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.enc.Encode(&s); err != nil && t.err == nil {
+		t.err = err
+	}
+	t.spans++
+}
+
+// Err returns the first write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Spans returns the number of spans recorded.
+func (t *Tracer) Spans() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spans
+}
+
+// ActiveSpan is a span in progress, returned by Start.
+type ActiveSpan struct {
+	t     *Tracer
+	span  Span
+	start time.Time
+}
+
+// Start opens a span for the given window and stage. End (or EndAttrs)
+// records it. On a nil tracer the returned span is inert.
+func (t *Tracer) Start(window int, stage string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	return &ActiveSpan{t: t, start: now,
+		span: Span{Window: window, Stage: stage, StartNS: now.UnixNano()}}
+}
+
+// End records the span with its elapsed duration.
+func (a *ActiveSpan) End() { a.EndAttrs(nil) }
+
+// EndAttrs records the span with extra numeric attributes (e.g. tuple
+// counts) attached.
+func (a *ActiveSpan) EndAttrs(attrs map[string]uint64) {
+	if a == nil {
+		return
+	}
+	a.span.DurationNS = time.Since(a.start).Nanoseconds()
+	a.span.Attrs = attrs
+	a.t.Record(a.span)
+}
+
+// ReadSpans decodes a JSONL span stream, for tests and offline analysis.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	dec := json.NewDecoder(r)
+	var out []Span
+	for {
+		var s Span
+		if err := dec.Decode(&s); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, s)
+	}
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTracerRoundTrip writes the five lifecycle stages for a window and
+// decodes them back: one JSON object per line, every field preserved.
+func TestTracerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+
+	stages := []string{
+		StageTraceSlice, StageSwitchPass, StageEmitterDecode,
+		StageStreamEval, StageFilterUpdate,
+	}
+	for i, stage := range stages {
+		s := tr.Start(3, stage)
+		time.Sleep(time.Millisecond) // guarantee a non-zero duration
+		s.EndAttrs(map[string]uint64{"n": uint64(i)})
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Spans() != uint64(len(stages)) {
+		t.Fatalf("recorded %d spans, want %d", tr.Spans(), len(stages))
+	}
+
+	// JSONL shape: exactly one object per line, each parseable on its own.
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(stages) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(stages))
+	}
+	for i, line := range lines {
+		var s Span
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("line %d not standalone JSON: %v", i, err)
+		}
+	}
+
+	spans, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != len(stages) {
+		t.Fatalf("decoded %d spans, want %d", len(spans), len(stages))
+	}
+	for i, s := range spans {
+		if s.Stage != stages[i] {
+			t.Errorf("span %d stage = %q, want %q", i, s.Stage, stages[i])
+		}
+		if s.Window != 3 {
+			t.Errorf("span %d window = %d, want 3", i, s.Window)
+		}
+		if s.DurationNS <= 0 {
+			t.Errorf("span %d duration = %d, want > 0", i, s.DurationNS)
+		}
+		if s.StartNS == 0 {
+			t.Errorf("span %d start_ns missing", i)
+		}
+		if s.Attrs["n"] != uint64(i) {
+			t.Errorf("span %d attrs = %v, want n=%d", i, s.Attrs, i)
+		}
+	}
+}
+
+// TestNilTracer checks the disabled mode end-to-end: nil tracer, nil active
+// span, all no-ops.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start(0, StageSwitchPass)
+	if s != nil {
+		t.Fatal("nil tracer must return a nil active span")
+	}
+	s.End()
+	s.EndAttrs(map[string]uint64{"x": 1})
+	tr.Record(Span{})
+	if tr.Err() != nil || tr.Spans() != 0 {
+		t.Error("nil tracer must read as empty")
+	}
+}
+
+// TestReadSpansMalformed checks a truncated stream reports an error rather
+// than silently dropping the tail.
+func TestReadSpansMalformed(t *testing.T) {
+	r := strings.NewReader(`{"window":1,"stage":"switch_pass","start_ns":1,"duration_ns":2}` + "\n" + `{"window":`)
+	spans, err := ReadSpans(r)
+	if err == nil {
+		t.Fatal("want error on truncated JSONL")
+	}
+	if len(spans) != 1 {
+		t.Errorf("got %d complete spans before the error, want 1", len(spans))
+	}
+}

@@ -137,10 +137,10 @@ func TestKeyInjectiveProperty(t *testing.T) {
 
 func TestDecodeKeyRejectsMalformed(t *testing.T) {
 	bad := []string{
-		"x",                      // unknown tag
-		"u\x00",                  // truncated numeric
-		"s\x00\x00\x00\x05ab",    // truncated string body
-		"s\x00\x00",              // truncated string header
+		"x",                                  // unknown tag
+		"u\x00",                              // truncated numeric
+		"s\x00\x00\x00\x05ab",                // truncated string body
+		"s\x00\x00",                          // truncated string header
 		Key([]Value{U64(1)}, []int{0}) + "u", // trailing garbage
 	}
 	for _, k := range bad {
