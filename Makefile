@@ -2,9 +2,10 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-smoke
 
 check: fmt vet build test race
+	-@$(MAKE) --no-print-directory bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -24,3 +25,10 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem
+
+# Quick perf regression probe: the four hot-path benchmarks, sequential vs
+# sharded, at a fixed iteration count. Non-gating in `make check` (perf noise
+# must not fail CI); run it by hand and compare against BENCH_pr2.json.
+bench-smoke:
+	$(GO) test -run xxx -benchtime 10x -cpu 4 \
+		-bench 'BenchmarkEndToEndWindow|BenchmarkFig7bMultiQuery|BenchmarkEmitterRoundTrip|BenchmarkSwitchProcess' .

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	eval [-scale small|medium|large] [-out dir] [-debug-addr :9090] [experiment ...]
+//	eval [-scale small|medium|large] [-out dir] [-workers N] [-debug-addr :9090] [experiment ...]
 //
 // Experiments: table3, fig3, fig5, fig7a, fig7b, fig8, fig9, overhead, all.
 //
@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	goruntime "runtime"
 	"time"
 
 	"repro/internal/eval"
@@ -29,8 +30,11 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "medium", "workload scale: small, medium, or large")
 	outDir := flag.String("out", "", "directory for TSV outputs (optional)")
+	workers := flag.Int("workers", goruntime.GOMAXPROCS(0), "window-pipeline worker shards (1 = sequential)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this address")
 	flag.Parse()
+
+	eval.DefaultWorkers = *workers
 
 	if *debugAddr != "" {
 		reg := telemetry.NewRegistry()
@@ -79,6 +83,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			w.Preload(*workers)
 		}
 		return w
 	}

@@ -7,7 +7,7 @@
 //
 //	sonata [-pcap trace.pcap | -synth] [-queries q1,q2,...] [-mode sonata]
 //	       [-window 3s] [-train 2] [-pkts 100000] [-windows 6] [-v]
-//	       [-debug-addr :9090] [-trace spans.jsonl]
+//	       [-workers N] [-debug-addr :9090] [-trace spans.jsonl]
 //
 // Query names follow internal/queries (e.g. newly_opened_tcp_conns,
 // superspreader). The default runs the eight header-field queries.
@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	goruntime "runtime"
 	"strings"
 	"time"
 
@@ -49,6 +50,7 @@ func main() {
 	pkts := flag.Int("pkts", 100_000, "synthetic packets per window")
 	nWindows := flag.Int("windows", 6, "synthetic windows")
 	verbose := flag.Bool("v", false, "print every result tuple")
+	workers := flag.Int("workers", goruntime.GOMAXPROCS(0), "window-pipeline worker shards (1 = sequential)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this address")
 	tracePath := flag.String("trace", "", "append per-window lifecycle spans as JSONL to this file (\"-\" for stderr)")
 	flag.Parse()
@@ -129,7 +131,8 @@ func main() {
 	// Train, plan, deploy.
 	plannerOpts := planner.DefaultOptions()
 	plannerOpts.Mode = mode
-	s := core.New(core.Config{Planner: plannerOpts, Window: *window, Switch: pisa.DefaultConfig()})
+	s := core.New(core.Config{Planner: plannerOpts, Window: *window, Switch: pisa.DefaultConfig(),
+		Workers: *workers})
 	for _, q := range qs {
 		q.ID = 0 // renumber in registration order
 		s.Register(q)

@@ -34,6 +34,10 @@ type Config struct {
 	Levels []int
 	// Window is the query window W; zero means 3 seconds.
 	Window time.Duration
+	// Workers shards the deployed window pipeline across this many workers;
+	// 0 or 1 deploys the sequential pipeline. Reports are identical either
+	// way; only wall time changes.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -121,5 +125,5 @@ func (s *Sonata) Deploy() (*runtime.Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runtime.New(plan, s.cfg.Switch)
+	return runtime.NewWithOptions(plan, s.cfg.Switch, runtime.Options{Workers: s.cfg.Workers})
 }

@@ -15,6 +15,7 @@ package emitter
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/packet"
 	"repro/internal/pisa"
@@ -154,13 +155,18 @@ type Emitter struct {
 	engine *stream.Engine
 	parser *packet.Parser
 	pkt    packet.Packet
-	buf    []byte
 	// Stats for the window.
 	frames   uint64
 	badFrame uint64
 	// m holds telemetry handles (zero value when uninstrumented).
 	m emitterMetrics
 }
+
+// bufPool shares encode buffers (which hold the mirror frame copy crossing
+// the monitoring port) across all emitters, so a sharded deployment's
+// per-shard emitters amortize their steady-state buffers instead of each
+// growing one, and the encode path stays allocation-free once warm.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // emitterMetrics is the monitoring-port slice of the registry.
 type emitterMetrics struct {
@@ -196,17 +202,24 @@ func New(engine *stream.Engine) *Emitter {
 // encode/parse round trip the monitoring port implies and forwards the
 // tuple (or packet) to the engine.
 func (e *Emitter) HandleMirror(m pisa.Mirror) {
-	e.buf = EncodeMirror(e.buf[:0], &m)
+	bp := bufPool.Get().(*[]byte)
+	buf := EncodeMirror((*bp)[:0], &m)
 	e.frames++
 	e.m.frames.Inc()
-	e.m.bytes.Add(uint64(len(e.buf)))
-	dec, err := DecodeMirror(e.buf)
-	if err != nil {
+	e.m.bytes.Add(uint64(len(buf)))
+	dec, err := DecodeMirror(buf)
+	if err == nil {
+		// The parsed view rides beside the wire format, not in it: the
+		// monitoring port carries bytes, but within one process the decoded
+		// record can reuse the switch's parse instead of re-decoding.
+		dec.Parsed = m.Parsed
+		e.Deliver(&dec)
+	} else {
 		e.badFrame++
 		e.m.malformed.Inc()
-		return
 	}
-	e.Deliver(&dec)
+	*bp = buf
+	bufPool.Put(bp)
 }
 
 // Deliver routes a decoded mirror record into the engine.
@@ -223,7 +236,12 @@ func (e *Emitter) Deliver(m *pisa.Mirror) {
 	case m.Vals != nil:
 		e.engine.IngestTuple(m.QID, m.Level, side, m.Vals)
 	case m.Packet != nil:
-		if err := e.parser.Parse(m.Packet, &e.pkt); err != nil {
+		if m.Parsed != nil {
+			// The switch's header parse survived the round trip (same
+			// process); adopt it and apply only the deep DNS decode the
+			// switch-side parser skips.
+			e.parser.Adopt(m.Parsed, &e.pkt)
+		} else if err := e.parser.Parse(m.Packet, &e.pkt); err != nil {
 			e.badFrame++
 			e.m.malformed.Inc()
 			return

@@ -146,6 +146,93 @@ func TestHandleMirrorPacketPath(t *testing.T) {
 	}
 }
 
+// TestHandleMirrorAdoptsParsedView covers the parse-once monitoring path:
+// when the mirror record carries the switch's parsed view, the emitter must
+// adopt it instead of re-parsing — and still apply its own deep DNS decode,
+// which the switch-side parser skips.
+func TestHandleMirrorAdoptsParsedView(t *testing.T) {
+	q := query.NewBuilder("dns_tunnel", time.Second).
+		Filter(query.Eq(fields.DNSQR, 0)).
+		Map(query.F(fields.DstIP), query.F(fields.DNSQName)).
+		MustBuild()
+	q.ID = 1
+	engine := stream.NewEngine(nil)
+	if err := engine.Install(q, 0, stream.Partition{}); err != nil {
+		t.Fatal(err)
+	}
+	em := New(engine)
+
+	frame := packet.BuildDNSQuery(nil, &packet.FrameSpec{
+		SrcIP: 1, DstIP: 99, SrcPort: 40000}, 7, "x1.exfil.bad", packet.DNSTypeTXT)
+	// The switch parses headers only (no DNS), like pisa's data plane.
+	swParser := packet.NewParser(packet.ParserOptions{})
+	var swPkt packet.Packet
+	if err := swParser.Parse(frame, &swPkt); err != nil {
+		t.Fatal(err)
+	}
+	if swPkt.Layers&packet.LayerDNS != 0 {
+		t.Fatal("switch-side parse unexpectedly decoded DNS")
+	}
+	em.HandleMirror(pisa.Mirror{QID: 1, Packet: frame, Parsed: &swPkt})
+
+	results, _ := engine.EndWindow()
+	if len(results[0].Tuples) != 1 {
+		t.Fatalf("tuples = %+v", results[0].Tuples)
+	}
+	tup := results[0].Tuples[0]
+	if tup[0].U != 99 || tup[1].S != "x1.exfil.bad" {
+		t.Errorf("tuple = %v, want dstIP=99 qname=x1.exfil.bad", tup)
+	}
+}
+
+// TestHandleMirrorPacketPathAllocs is the regression guard for the
+// double-parse fix: with the parsed view carried through the mirror and the
+// encode buffer pooled, the steady-state packet path must not allocate.
+func TestHandleMirrorPacketPathAllocs(t *testing.T) {
+	q := query.NewBuilder("q1", time.Second).
+		Filter(query.Eq(fields.TCPFlags, fields.FlagSYN)).
+		Map(query.F(fields.DstIP), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.DstIP).
+		MustBuild()
+	q.ID = 1
+	engine := stream.NewEngine(nil)
+	if err := engine.Install(q, 0, stream.Partition{}); err != nil {
+		t.Fatal(err)
+	}
+	em := New(engine)
+	frame := packet.BuildFrame(nil, &packet.FrameSpec{
+		SrcIP: 1, DstIP: 99, Proto: 6, TCPFlags: fields.FlagSYN, Pad: 60})
+	parser := packet.NewParser(packet.ParserOptions{})
+	var pkt packet.Packet
+	if err := parser.Parse(frame, &pkt); err != nil {
+		t.Fatal(err)
+	}
+	m := pisa.Mirror{QID: 1, Packet: frame, Parsed: &pkt}
+	em.HandleMirror(m) // warm the pool and the engine's aggregation entry
+	// Full path: the only allocations allowed are the engine's per-packet
+	// tuple build (map output + reduce key); the emitter itself — encode
+	// buffer, decode, and the adopted parse — must contribute none.
+	allocs := testing.AllocsPerRun(100, func() { em.HandleMirror(m) })
+	if allocs > 2 {
+		t.Errorf("HandleMirror packet path allocates %.1f per op, want <= 2 (engine tuple build only)", allocs)
+	}
+
+	// Isolate the emitter: a packet the query's filter drops never reaches
+	// the engine's tuple build, so any allocation left is emitter overhead.
+	dropped := packet.BuildFrame(nil, &packet.FrameSpec{
+		SrcIP: 1, DstIP: 99, Proto: 6, TCPFlags: fields.FlagACK, Pad: 60})
+	var dpkt packet.Packet
+	if err := parser.Parse(dropped, &dpkt); err != nil {
+		t.Fatal(err)
+	}
+	dm := pisa.Mirror{QID: 1, Packet: dropped, Parsed: &dpkt}
+	em.HandleMirror(dm)
+	if allocs := testing.AllocsPerRun(100, func() { em.HandleMirror(dm) }); allocs > 0 {
+		t.Errorf("emitter-side packet path allocates %.1f per op, want 0", allocs)
+	}
+	engine.EndWindow()
+}
+
 func TestHandleDumpsMerges(t *testing.T) {
 	engine, em := engineWithQ1(t)
 	// Overflow path first (tuple merged through the reduce op itself).

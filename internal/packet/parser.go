@@ -112,6 +112,25 @@ func (p *Parser) Parse(data []byte, pkt *Packet) error {
 	return nil
 }
 
+// Adopt copies an already-parsed header view from src into dst and applies
+// this parser's deep-decode options on top, re-using dst's scratch storage.
+// It lets a second pipeline stage (the emitter) reuse the switch's header
+// parse instead of re-decoding the frame, while still performing the deep
+// (DNS) decode only it enables. src is not modified and may be shared
+// read-only across goroutines.
+func (p *Parser) Adopt(src, dst *Packet) {
+	dns := dst.DNS
+	*dst = *src
+	dst.DNS = dns
+	dst.DNS.reset()
+	dst.Layers &^= LayerDNS
+	if p.opts.DecodeDNS && len(dst.Payload) >= dnsHeaderLen && isDNSPort(dst) {
+		if err := DecodeDNS(dst.Payload, &dst.DNS); err == nil {
+			dst.Layers |= LayerDNS
+		}
+	}
+}
+
 func isDNSPort(pkt *Packet) bool {
 	if pkt.Has(LayerUDP) {
 		return pkt.UDP.SrcPort == 53 || pkt.UDP.DstPort == 53

@@ -1,6 +1,10 @@
 package pisa
 
-import "repro/internal/telemetry"
+import (
+	"strconv"
+
+	"repro/internal/telemetry"
+)
 
 // switchMetrics holds the data plane's pre-registered telemetry handles.
 // The zero value (all nil handles) is the uninstrumented mode: every method
@@ -20,6 +24,20 @@ type switchMetrics struct {
 // Call once after NewSwitch; the register-capacity gauge is fixed at that
 // point, occupancy updates at every window boundary.
 func (sw *Switch) Instrument(reg *telemetry.Registry) {
+	sw.instrument(reg, nil)
+}
+
+// InstrumentShard registers the metrics of one shard of a sharded
+// deployment. Counter families are shared with the sequential series — the
+// registry returns the same handle for the same (family, labels), so
+// per-shard increments fold into one total automatically. The register
+// gauges are Set (not added), so they get a shard label to keep each
+// shard's occupancy and capacity as its own series.
+func (sw *Switch) InstrumentShard(reg *telemetry.Registry, shard int) {
+	sw.instrument(reg, []string{"shard", strconv.Itoa(shard)})
+}
+
+func (sw *Switch) instrument(reg *telemetry.Registry, gaugeLabels []string) {
 	sw.m = switchMetrics{
 		packets: reg.Counter("sonata_switch_packets_total",
 			"Frames processed by the data plane."),
@@ -32,9 +50,9 @@ func (sw *Switch) Instrument(reg *telemetry.Registry) {
 		dynUpdates: reg.Counter("sonata_switch_dyn_table_updates_total",
 			"Dynamic filter entries written by refinement updates."),
 		regUsed: reg.Gauge("sonata_switch_register_entries_used",
-			"Register slots occupied at the last window boundary."),
+			"Register slots occupied at the last window boundary.", gaugeLabels...),
 		regCapacity: reg.Gauge("sonata_switch_register_entries_capacity",
-			"Total register slots across all installed banks."),
+			"Total register slots across all installed banks.", gaugeLabels...),
 	}
 	sw.m.regCapacity.Set(sw.registerCapacity())
 }

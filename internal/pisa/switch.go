@@ -32,6 +32,12 @@ type Mirror struct {
 	// Packet is the original frame, present when the instance requested it
 	// or the pipeline was packet-phase.
 	Packet []byte
+	// Parsed is the switch's header parse of Packet, attached only when the
+	// frame decoded fully. It is a process-local sidecar — never serialized
+	// by the emitter's wire format — that lets the stream side skip the
+	// re-parse. Receivers must treat it as read-only: in sharded mode it is
+	// shared across workers.
+	Parsed *packet.Packet
 }
 
 // RegDump is one aggregated (key, value) pair reported at window end.
@@ -52,6 +58,18 @@ type WindowStats struct {
 	DumpTuples uint64
 }
 
+// Merge folds another shard's stats into s. The merge is associative and
+// commutative (plain addition per column), which is what makes the sharded
+// pipeline's window close order-independent. Note that shards driven via
+// ProcessView report PacketsIn = 0 — the parse side owns that count, since
+// every shard sees every frame.
+func (s *WindowStats) Merge(o WindowStats) {
+	s.PacketsIn += o.PacketsIn
+	s.Mirrored += o.Mirrored
+	s.Collisions += o.Collisions
+	s.DumpTuples += o.DumpTuples
+}
+
 // instState is the runtime state of one installed instance.
 type instState struct {
 	spec  *InstanceSpec
@@ -67,10 +85,37 @@ type instState struct {
 }
 
 // packetView pairs a parsed packet with its raw frame so mirrors can carry
-// the original bytes when the stream processor needs them.
+// the original bytes when the stream processor needs them. clean marks a
+// fully decoded frame whose parse mirrors may re-use (ErrUnsupportedLayer
+// frames still run the pipeline but the emitter treats their embedded
+// packets as malformed, so their parse must not be forwarded).
 type packetView struct {
 	pkt   *packet.Packet
 	frame []byte
+	clean bool
+}
+
+// View is one frame parsed once for fan-out to switch shards. The embedded
+// Packet owns its own scratch storage, so a batch of Views can be pooled
+// and re-Prepared without allocation; after Prepare the view is read-only
+// and safe to share across shard goroutines.
+type View struct {
+	Pkt   packet.Packet
+	Frame []byte
+	// Runnable reports whether the telemetry pipeline should see the frame:
+	// the parse succeeded, or failed with ErrUnsupportedLayer (the decoded
+	// prefix is valid and the frame is forwarded like any other traffic).
+	Runnable bool
+	clean    bool
+}
+
+// Prepare parses frame into the view using p. It mirrors exactly the parse
+// decision Process makes inline.
+func (v *View) Prepare(p *packet.Parser, frame []byte) {
+	v.Frame = frame
+	err := p.Parse(frame, &v.Pkt)
+	v.clean = err == nil
+	v.Runnable = v.clean || errors.Is(err, packet.ErrUnsupportedLayer)
 }
 
 // Switch simulates the data plane: packets stream through every installed
@@ -166,10 +211,30 @@ func (sw *Switch) TableUpdates() uint64 { return sw.tableUpdates }
 func (sw *Switch) Process(frame []byte) int {
 	sw.stats.PacketsIn++
 	sw.m.packets.Inc()
-	if err := sw.parser.Parse(frame, &sw.scratch); err != nil && !errors.Is(err, packet.ErrUnsupportedLayer) {
+	err := sw.parser.Parse(frame, &sw.scratch)
+	if err != nil && !errors.Is(err, packet.ErrUnsupportedLayer) {
 		return 0
 	}
-	view := packetView{pkt: &sw.scratch, frame: frame}
+	view := packetView{pkt: &sw.scratch, frame: frame, clean: err == nil}
+	reports := 0
+	for _, st := range sw.insts {
+		if sw.processInstance(st, &view) {
+			reports++
+		}
+	}
+	return reports
+}
+
+// ProcessView runs an already-parsed frame through every installed
+// instance — the sharded fan-out path, where one parse is shared by all
+// shards. It does not count PacketsIn (every shard sees every frame; the
+// parse side owns that count) and skips non-Runnable views' processing the
+// same way Process drops hard parse errors.
+func (sw *Switch) ProcessView(v *View) int {
+	if !v.Runnable {
+		return 0
+	}
+	view := packetView{pkt: &v.Pkt, frame: v.Frame, clean: v.clean}
 	reports := 0
 	for _, st := range sw.insts {
 		if sw.processInstance(st, &view) {
@@ -185,8 +250,12 @@ func (sw *Switch) processInstance(st *instState, pkt *packetView) bool {
 	spec := st.spec
 	if spec.CutAt == 0 {
 		// Nothing on the switch: mirror every packet (the All-SP plan).
-		sw.emit(Mirror{QID: spec.QID, Level: spec.Level, Side: spec.Side,
-			EntryOp: 0, Packet: pkt.frame})
+		m := Mirror{QID: spec.QID, Level: spec.Level, Side: spec.Side,
+			EntryOp: 0, Packet: pkt.frame}
+		if pkt.clean {
+			m.Parsed = pkt.pkt
+		}
+		sw.emit(m)
 		return true
 	}
 
@@ -270,6 +339,9 @@ func (sw *Switch) processInstance(st *instState, pkt *packetView) bool {
 					Overflow: true, MergeOp: tab.OpIdx, Vals: vals}
 				if spec.NeedsPacket {
 					m.Packet = pkt.frame
+					if pkt.clean {
+						m.Parsed = pkt.pkt
+					}
 				}
 				sw.emit(m)
 				return true
@@ -314,6 +386,9 @@ func (sw *Switch) processInstance(st *instState, pkt *packetView) bool {
 	}
 	if !inTuplePhase || spec.NeedsPacket {
 		m.Packet = pkt.frame
+		if pkt.clean {
+			m.Parsed = pkt.pkt
+		}
 	}
 	sw.emit(m)
 	return true

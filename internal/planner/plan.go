@@ -77,6 +77,11 @@ type InstancePlan struct {
 	Cut int
 	// RegEntries sizes each stateful switch table's registers.
 	RegEntries []int
+	// EstWork is the trained estimate of this instance's per-window work in
+	// tuple-stage units: the number of tuples entering each pipeline stage,
+	// summed, as measured on the training windows (with dynamic gates
+	// applied). The runtime's shard balancer weighs instances by it.
+	EstWork uint64
 }
 
 // LevelPlan is one refinement level of a query: the augmented query plus
@@ -533,6 +538,12 @@ func gateQuery(aug *query.Query) *query.Query {
 
 func makeInstance(side pisa.Side, ops []query.Op, sc *SideCost, cut int, cfg pisa.Config) InstancePlan {
 	inst := InstancePlan{Side: side, Ops: ops, Pipe: compile.CompilePipeline(ops), Cut: cut}
+	// Work estimate for the shard balancer: the trained op-level work sum
+	// plus the collision-overflow packets this cut will shunt inline to the
+	// stream processor — the profiler has unbounded registers, so sc.Work
+	// alone misses that cost, and it is heavy (mirror encode/decode plus an
+	// SP pipeline run per packet).
+	inst.EstWork = sc.Work + 8*overflowN(sc, cut, cfg)
 	inst.RegEntries = make([]int, len(inst.Pipe.Tables))
 	for t := range inst.Pipe.Tables {
 		if inst.Pipe.Tables[t].Stateful && t < cut {

@@ -25,6 +25,10 @@ type SideCost struct {
 	NAtCut []uint64
 	// KeysAt[t] is the distinct-key count of stateful table t.
 	KeysAt map[int]uint64
+	// Work is the median per-window op-level work sum: tuples entering each
+	// pipeline op, added up. It feeds the runtime's shard balancer through
+	// InstancePlan.EstWork.
+	Work uint64
 }
 
 // EdgeProfile is the cost of running a query at level Level gated by the
@@ -308,6 +312,7 @@ func profileSide(qt *QueryTraining, p *query.Pipeline, level int, gate []string,
 	cuts := pipe.ValidPartitionPoints()
 	perCut := make([][]uint64, len(cuts))
 	keysPerTable := make(map[int][]uint64)
+	var works []uint64
 
 	for _, pkts := range windows {
 		prof := stream.NewProfiler(p.Ops, nil)
@@ -326,6 +331,23 @@ func profileSide(qt *QueryTraining, p *query.Pipeline, level int, gate []string,
 				keysPerTable[ti] = append(keysPerTable[ti], out.Keys[pipe.Tables[ti].OpIdx])
 			}
 		}
+		// Op-level work: op 0 sees the whole window, op j the records op
+		// j-1 emitted. With the gate applied this captures filter
+		// selectivity exactly, which cut-level counts cannot. Stateful ops
+		// (reduce/distinct key-value updates) cost several times a filter
+		// probe per record, so they weigh more.
+		var work uint64
+		for j := range p.Ops {
+			entering := uint64(len(pkts))
+			if j > 0 {
+				entering = out.OutAfter[j-1]
+			}
+			if p.Ops[j].Stateful() {
+				entering *= 4
+			}
+			work += entering
+		}
+		works = append(works, work)
 	}
 
 	sc := &SideCost{Pipe: pipe, NAtCut: make([]uint64, len(cuts)), KeysAt: make(map[int]uint64)}
@@ -335,6 +357,7 @@ func profileSide(qt *QueryTraining, p *query.Pipeline, level int, gate []string,
 	for ti, ks := range keysPerTable {
 		sc.KeysAt[ti] = medianU64(ks)
 	}
+	sc.Work = medianU64(works)
 	return sc, nil
 }
 

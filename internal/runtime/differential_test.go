@@ -1,0 +1,112 @@
+package runtime_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/pisa"
+	"repro/internal/planner"
+	"repro/internal/queries"
+	"repro/internal/runtime"
+	"repro/internal/stream"
+	"repro/internal/tuple"
+)
+
+// TestShardedMatchesSequential is the correctness contract of the sharded
+// pipeline: over the full evaluation workload (background traffic plus the
+// standard attack suite, all eleven queries), every window report produced
+// with workers > 1 must be identical to the sequential runtime's — results,
+// tuple counts, switch counters, filter updates, and emitter volume alike.
+func TestShardedMatchesSequential(t *testing.T) {
+	scale := eval.SmallScale()
+	w, err := eval.NewWorkload(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := queries.All(eval.ScaledParams(scale))
+	tr, err := planner.Train(qs, []int{8, 16, 24}, w.TrainingFrames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pisa.DefaultConfig()
+	plan, err := planner.PlanQueries(tr, qs, cfg, planner.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(workers int) []string {
+		rt, err := runtime.NewWithOptions(plan, cfg, runtime.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers > 1 && rt.Workers() < 2 {
+			t.Fatalf("workers=%d built a %d-shard runtime", workers, rt.Workers())
+		}
+		snaps := make([]string, 0, w.Gen.Windows())
+		for i := 0; i < w.Gen.Windows(); i++ {
+			snaps = append(snaps, snapshotReport(rt.ProcessWindow(w.Frames(i))))
+		}
+		return snaps
+	}
+
+	want := run(0) // sequential baseline
+	for _, workers := range []int{1, 2, 8} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d window %d diverged from sequential:\n--- sequential\n%s\n--- workers=%d\n%s",
+					workers, i, want[i], workers, got[i])
+			}
+		}
+	}
+}
+
+// snapshotReport renders a window report into a canonical string. Result
+// tuples are already sorted by the engine; join sub-pipeline outputs are
+// sorted here because their order is map-iteration dependent even on the
+// sequential path.
+func snapshotReport(rep *runtime.WindowReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "window=%d tuplesToSP=%d filterUpdates=%d emitterFrames=%d emitterMalformed=%d\n",
+		rep.Index, rep.TuplesToSP, rep.FilterUpdates, rep.EmitterFrames, rep.EmitterMalformed)
+	fmt.Fprintf(&b, "switch: in=%d mirrored=%d collisions=%d dumps=%d\n",
+		rep.Switch.PacketsIn, rep.Switch.Mirrored, rep.Switch.Collisions, rep.Switch.DumpTuples)
+	keys := make([]stream.QueryKey, 0, len(rep.PerQuery))
+	for k := range rep.PerQuery {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].QID != keys[j].QID {
+			return keys[i].QID < keys[j].QID
+		}
+		return keys[i].Level < keys[j].Level
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "perquery q%d/%d=%d\n", k.QID, k.Level, rep.PerQuery[k])
+	}
+	for _, res := range rep.AllResults {
+		fmt.Fprintf(&b, "result q%d/%d tuples=%s left=%s right=%s\n", res.QID, res.Level,
+			renderTuples(res.Tuples, false),
+			renderTuples(res.LeftOutputs, true),
+			renderTuples(res.RightOutputs, true))
+	}
+	return b.String()
+}
+
+func renderTuples(ts [][]tuple.Value, sortThem bool) string {
+	out := make([]string, len(ts))
+	for i, tup := range ts {
+		parts := make([]string, len(tup))
+		for j, v := range tup {
+			parts[j] = v.String()
+		}
+		out[i] = strings.Join(parts, ",")
+	}
+	if sortThem {
+		sort.Strings(out)
+	}
+	return "[" + strings.Join(out, " | ") + "]"
+}

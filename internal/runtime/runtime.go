@@ -7,12 +7,17 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/emitter"
 	"repro/internal/fields"
+	"repro/internal/packet"
 	"repro/internal/pisa"
 	"repro/internal/planner"
+	"repro/internal/query"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 	"repro/internal/tuple"
@@ -41,15 +46,76 @@ type WindowReport struct {
 	// EmitterFrames / EmitterMalformed report the monitoring-port volume.
 	EmitterFrames    uint64
 	EmitterMalformed uint64
+	// ShardBusy holds each worker shard's busy time inside this window (nil
+	// for the sequential runtime). sum/max estimates the achievable parallel
+	// speedup independently of how many cores the host actually has.
+	ShardBusy []time.Duration
+}
+
+// Options tunes a runtime's execution mode.
+type Options struct {
+	// Workers is the number of parallel shards the installed (query, level)
+	// instances are partitioned across. 0 or 1 selects the sequential path,
+	// which is byte-for-byte the classic single-goroutine runtime; values
+	// above the instance count are clamped to it.
+	Workers int
+	// BatchSize is the number of frames per fan-out batch in sharded mode
+	// (0 means DefaultBatchSize).
+	BatchSize int
+}
+
+// DefaultBatchSize is the fan-out batch granularity: large enough to
+// amortize the channel handoff, small enough that shards stay busy inside
+// one window.
+const DefaultBatchSize = 256
+
+// shard owns one slice of the deployment: the switch instances assigned to
+// it (with their registers and dynamic tables), a private emitter, and the
+// matching stream-engine instances. During a window only the shard's worker
+// goroutine touches this state, so the hot path takes no locks; the
+// runtime's window close joins the workers before reading any of it.
+type shard struct {
+	sw     *pisa.Switch
+	engine *stream.Engine
+	em     *emitter.Emitter
+	in     chan *viewBatch
+	done   chan struct{}
+	// busy accumulates time spent processing batches this window; only the
+	// shard's own goroutine writes it, and the runtime reads it after the
+	// window-end join.
+	busy time.Duration
+}
+
+// viewBatch is a refcounted batch of frames parsed once and shared
+// read-only by every shard; the last shard to finish a batch recycles it.
+type viewBatch struct {
+	views []pisa.View
+	n     int
+	refs  atomic.Int32
 }
 
 // Runtime binds a plan to executable components.
 type Runtime struct {
-	plan   *planner.Plan
-	cfg    pisa.Config
+	plan *planner.Plan
+	cfg  pisa.Config
+	opts Options
+	// Sequential components (Workers <= 1). Nil in sharded mode, where
+	// shards carries the per-worker slices instead.
 	sw     *pisa.Switch
 	engine *stream.Engine
 	em     *emitter.Emitter
+	// Sharded mode: owner maps each instance to its shard, order preserves
+	// global installation order so merged results match the sequential
+	// engine's ordering exactly, parser is the shared parse-once front end.
+	shards    []*shard
+	owner     map[stream.QueryKey]int
+	order     []stream.QueryKey
+	parser    *packet.Parser
+	batchPool *sync.Pool
+	fill      *viewBatch // batch currently being filled
+	running   bool       // shard workers live for the current window
+	framesIn  uint64     // frames fanned out this window (merged PacketsIn)
+
 	links  []link
 	finest map[uint16]uint8
 	window int
@@ -74,18 +140,30 @@ type link struct {
 	field  fields.ID // the refinement key
 }
 
-// New wires a runtime from a plan.
+// instInfo is one planned (query, level) instance in installation order.
+// cost is the instance's switch-side work proxy (its cut depth): every
+// instance examines every frame, so per-packet work scales with how many
+// tables run in the data plane.
+type instInfo struct {
+	key  stream.QueryKey
+	aug  *query.Query
+	part stream.Partition
+	cost int
+}
+
+// New wires a sequential runtime from a plan.
 func New(plan *planner.Plan, cfg pisa.Config) (*Runtime, error) {
-	dyn := stream.NewDynTables()
-	engine := stream.NewEngine(dyn)
-	em := emitter.New(engine)
-	sw, err := pisa.NewSwitch(cfg, plan.Program, em.HandleMirror)
-	if err != nil {
-		return nil, fmt.Errorf("runtime: installing switch program: %w", err)
-	}
-	r := &Runtime{plan: plan, cfg: cfg, sw: sw, engine: engine, em: em,
+	return NewWithOptions(plan, cfg, Options{})
+}
+
+// NewWithOptions wires a runtime with explicit execution options.
+func NewWithOptions(plan *planner.Plan, cfg pisa.Config, opts Options) (*Runtime, error) {
+	r := &Runtime{plan: plan, cfg: cfg, opts: opts,
 		finest: make(map[uint16]uint8), lastKeys: make(map[int]string)}
 
+	// Flatten the plan into installation-ordered instances and derive the
+	// refinement links; both execution modes share this pass.
+	var infos []instInfo
 	for _, qp := range plan.Queries {
 		for li, lp := range qp.Levels {
 			part := stream.Partition{
@@ -95,11 +173,12 @@ func New(plan *planner.Plan, cfg pisa.Config) (*Runtime, error) {
 			if lp.Right != nil {
 				part.RightStart = entryOp(lp.Right)
 			}
-			if err := engine.Install(lp.Aug, uint8(lp.Level), part); err != nil {
-				return nil, fmt.Errorf("runtime: installing q%d level %d: %w", qp.Query.ID, lp.Level, err)
-			}
+			key := stream.QueryKey{QID: qp.Query.ID, Level: uint8(lp.Level)}
+			infos = append(infos, instInfo{key: key, aug: lp.Aug, part: part,
+				cost: instanceCost(&lp)})
+			r.order = append(r.order, key)
 			if li == len(qp.Levels)-1 {
-				r.finest[qp.Query.ID] = uint8(lp.Level)
+				r.finest[qp.Query.ID] = key.Level
 			}
 			if li+1 < len(qp.Levels) {
 				next := qp.Levels[li+1]
@@ -114,7 +193,116 @@ func New(plan *planner.Plan, cfg pisa.Config) (*Runtime, error) {
 			}
 		}
 	}
-	return r, nil
+
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(infos) {
+		workers = len(infos)
+	}
+	if workers <= 1 {
+		return r, r.buildSequential(infos)
+	}
+	return r, r.buildSharded(infos, workers)
+}
+
+// buildSequential wires the classic single-goroutine pipeline.
+func (r *Runtime) buildSequential(infos []instInfo) error {
+	dyn := stream.NewDynTables()
+	engine := stream.NewEngine(dyn)
+	em := emitter.New(engine)
+	sw, err := pisa.NewSwitch(r.cfg, r.plan.Program, em.HandleMirror)
+	if err != nil {
+		return fmt.Errorf("runtime: installing switch program: %w", err)
+	}
+	r.sw, r.engine, r.em = sw, engine, em
+	for _, in := range infos {
+		if err := engine.Install(in.aug, in.key.Level, in.part); err != nil {
+			return fmt.Errorf("runtime: installing q%d level %d: %w", in.key.QID, in.key.Level, err)
+		}
+	}
+	return nil
+}
+
+// buildSharded partitions the instances across workers. Each shard gets the
+// switch program slice, emitter, and engine instances for the keys it owns;
+// both sides of a join instance share a key and so land on the same shard.
+//
+// Assignment is greedy longest-processing-time over each instance's cut
+// depth: instance costs are heavily skewed (a coarse level with a deep cut
+// runs many tables over every packet, a dyn-gated fine level drops almost
+// everything at op 0), so round-robin leaves some shards nearly idle. The
+// result is deterministic — ties break on installation order and lowest
+// shard index — so a given plan always shards the same way.
+func (r *Runtime) buildSharded(infos []instInfo, workers int) error {
+	r.owner = make(map[stream.QueryKey]int, len(infos))
+	ord := make([]int, len(infos))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.SliceStable(ord, func(a, b int) bool { return infos[ord[a]].cost > infos[ord[b]].cost })
+	load := make([]int, workers)
+	for _, idx := range ord {
+		best := 0
+		for s := 1; s < workers; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		load[best] += infos[idx].cost
+		r.owner[infos[idx].key] = best
+	}
+	progs := make([]*pisa.Program, workers)
+	for i := range progs {
+		progs[i] = &pisa.Program{}
+	}
+	for _, spec := range r.plan.Program.Instances {
+		si, ok := r.owner[stream.QueryKey{QID: spec.QID, Level: spec.Level}]
+		if !ok {
+			return fmt.Errorf("runtime: program instance %s has no planned level", spec.Name())
+		}
+		progs[si].Instances = append(progs[si].Instances, spec)
+	}
+	for i := 0; i < workers; i++ {
+		engine := stream.NewEngine(stream.NewDynTables())
+		em := emitter.New(engine)
+		sw, err := pisa.NewSwitch(r.cfg, progs[i], em.HandleMirror)
+		if err != nil {
+			return fmt.Errorf("runtime: installing shard %d program: %w", i, err)
+		}
+		r.shards = append(r.shards, &shard{sw: sw, engine: engine, em: em})
+	}
+	for _, in := range infos {
+		s := r.shards[r.owner[in.key]]
+		if err := s.engine.Install(in.aug, in.key.Level, in.part); err != nil {
+			return fmt.Errorf("runtime: installing q%d level %d: %w", in.key.QID, in.key.Level, err)
+		}
+	}
+	batch := r.opts.BatchSize
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	r.parser = packet.NewParser(packet.ParserOptions{})
+	r.batchPool = &sync.Pool{New: func() any {
+		return &viewBatch{views: make([]pisa.View, batch)}
+	}}
+	return nil
+}
+
+// instanceCost is the weight the shard balancer assigns an instance: the
+// planner's trained per-window work estimate (tuples entering each pipeline
+// stage, gates applied — see InstancePlan.EstWork). A floor of 1 keeps
+// zero-traffic instances schedulable.
+func instanceCost(lp *planner.LevelPlan) int {
+	cost := lp.Left.EstWork
+	if lp.Right != nil {
+		cost += lp.Right.EstWork
+	}
+	if cost == 0 {
+		return 1
+	}
+	return int(cost)
 }
 
 // entryOp maps an instance plan's cut to the stream processor's resume op.
@@ -122,14 +310,38 @@ func entryOp(inst *planner.InstancePlan) int {
 	return inst.Pipe.EntryFor(inst.Cut).StartOp
 }
 
-// Switch exposes the data plane (examples and tests inspect it).
+// Switch exposes the data plane (examples and tests inspect it). It is nil
+// for a sharded runtime, whose data plane is split across workers.
 func (r *Runtime) Switch() *pisa.Switch { return r.sw }
 
-// Engine exposes the stream processor.
+// Engine exposes the stream processor (nil for a sharded runtime).
 func (r *Runtime) Engine() *stream.Engine { return r.engine }
 
 // Plan returns the installed plan.
 func (r *Runtime) Plan() *planner.Plan { return r.plan }
+
+// Workers returns the number of parallel shards (1 for the sequential
+// runtime).
+func (r *Runtime) Workers() int {
+	if len(r.shards) > 0 {
+		return len(r.shards)
+	}
+	return 1
+}
+
+// ShardOf reports which shard owns the given (query, level) instance, and
+// -1 for unknown instances or a sequential runtime. Pairs with
+// WindowReport.ShardBusy for balance inspection.
+func (r *Runtime) ShardOf(qid uint16, level uint8) int {
+	if len(r.shards) == 0 {
+		return -1
+	}
+	s, ok := r.owner[stream.QueryKey{QID: qid, Level: level}]
+	if !ok {
+		return -1
+	}
+	return s
+}
 
 // ProcessWindow pushes one window of frames through the data plane, closes
 // the window on both components, applies refinement updates for the next
@@ -137,17 +349,106 @@ func (r *Runtime) Plan() *planner.Plan { return r.plan }
 func (r *Runtime) ProcessWindow(frames [][]byte) *WindowReport {
 	r.markWindowStart()
 	sp := r.tracer.Start(r.window, telemetry.StageSwitchPass)
-	for _, f := range frames {
-		r.sw.Process(f)
+	if len(r.shards) > 0 {
+		for _, f := range frames {
+			r.processSharded(f)
+		}
+	} else {
+		for _, f := range frames {
+			r.sw.Process(f)
+		}
 	}
 	sp.EndAttrs(map[string]uint64{"frames": uint64(len(frames))})
 	return r.closeWindow()
 }
 
-// Process pushes a single frame (streaming use; pair with CloseWindow).
+// Process pushes a single frame (streaming use; pair with CloseWindow). A
+// sharded runtime aliases the frame in parsed views fanned out to workers,
+// so the caller must not modify it until the window closes.
 func (r *Runtime) Process(frame []byte) {
 	r.markWindowStart()
+	if len(r.shards) > 0 {
+		r.processSharded(frame)
+		return
+	}
 	r.sw.Process(frame)
+}
+
+// processSharded parses the frame once and fans the shared read-only view
+// out to every shard. Workers start lazily at the first frame of a window
+// and are joined by closeWindow.
+func (r *Runtime) processSharded(frame []byte) {
+	if !r.running {
+		r.startWorkers()
+	}
+	r.framesIn++
+	r.m.packets.Inc()
+	b := r.fill
+	if b == nil {
+		b = r.batchPool.Get().(*viewBatch)
+		b.n = 0
+		r.fill = b
+	}
+	b.views[b.n].Prepare(r.parser, frame)
+	b.n++
+	if b.n == len(b.views) {
+		r.dispatch()
+	}
+}
+
+// dispatch hands the filling batch to every shard. The batch is read-only
+// from here on; the last shard to finish it returns it to the pool.
+func (r *Runtime) dispatch() {
+	b := r.fill
+	if b == nil || b.n == 0 {
+		return
+	}
+	r.fill = nil
+	b.refs.Store(int32(len(r.shards)))
+	for _, s := range r.shards {
+		s.in <- b
+	}
+}
+
+func (r *Runtime) startWorkers() {
+	for _, s := range r.shards {
+		s.in = make(chan *viewBatch, 4)
+		s.done = make(chan struct{})
+		go s.run(r.batchPool)
+	}
+	r.running = true
+}
+
+// run is a shard's worker loop: drain batches, run the owned instances
+// over each view. Closing the in channel is the window-end barrier.
+func (s *shard) run(pool *sync.Pool) {
+	defer close(s.done)
+	for b := range s.in {
+		t0 := time.Now()
+		for i := 0; i < b.n; i++ {
+			s.sw.ProcessView(&b.views[i])
+		}
+		s.busy += time.Since(t0)
+		if b.refs.Add(-1) == 0 {
+			pool.Put(b)
+		}
+	}
+}
+
+// joinWorkers flushes the partial batch and waits for every shard to
+// drain; once it returns the main goroutine owns all shard state again.
+func (r *Runtime) joinWorkers() {
+	if !r.running {
+		return
+	}
+	r.dispatch()
+	for _, s := range r.shards {
+		close(s.in)
+	}
+	for _, s := range r.shards {
+		<-s.done
+	}
+	r.running = false
 }
 
 // markWindowStart anchors the window-duration measurement at the first
@@ -163,12 +464,63 @@ func (r *Runtime) CloseWindow() *WindowReport { return r.closeWindow() }
 
 func (r *Runtime) closeWindow() *WindowReport {
 	ed := r.tracer.Start(r.window, telemetry.StageEmitterDecode)
-	dumps, stats := r.sw.EndWindow()
-	r.em.HandleDumps(dumps)
-	ed.EndAttrs(map[string]uint64{"dump_tuples": uint64(len(dumps))})
+	var (
+		results   []stream.Result
+		metrics   stream.Metrics
+		stats     pisa.WindowStats
+		dumpCount int
+		emFrames  uint64
+		emBad     uint64
+	)
+	var shardBusy []time.Duration
+	if len(r.shards) > 0 {
+		r.joinWorkers()
+		shardBusy = make([]time.Duration, len(r.shards))
+		for i, s := range r.shards {
+			shardBusy[i], s.busy = s.busy, 0
+			dumps, st := s.sw.EndWindow()
+			s.em.HandleDumps(dumps)
+			dumpCount += len(dumps)
+			stats.Merge(st)
+		}
+		// Shards do not count PacketsIn (each saw every frame); the fan-out
+		// side owns the count.
+		stats.PacketsIn = r.framesIn
+		r.framesIn = 0
+	} else {
+		dumps, st := r.sw.EndWindow()
+		r.em.HandleDumps(dumps)
+		dumpCount = len(dumps)
+		stats = st
+	}
+	ed.EndAttrs(map[string]uint64{"dump_tuples": uint64(dumpCount)})
 
 	se := r.tracer.Start(r.window, telemetry.StageStreamEval)
-	results, metrics := r.engine.EndWindow()
+	if len(r.shards) > 0 {
+		metrics.PerQuery = make(map[stream.QueryKey]uint64)
+		byKey := make(map[stream.QueryKey]stream.Result, len(r.order))
+		for _, s := range r.shards {
+			res, m := s.engine.EndWindow()
+			for i := range res {
+				byKey[stream.QueryKey{QID: res[i].QID, Level: res[i].Level}] = res[i]
+			}
+			metrics.Merge(m)
+			f, bad := s.em.WindowStats()
+			emFrames += f
+			emBad += bad
+		}
+		// Deterministic merge: report in global installation order, exactly
+		// as the sequential engine orders its results.
+		results = make([]stream.Result, 0, len(r.order))
+		for _, k := range r.order {
+			if res, ok := byKey[k]; ok {
+				results = append(results, res)
+			}
+		}
+	} else {
+		results, metrics = r.engine.EndWindow()
+		emFrames, emBad = r.em.WindowStats()
+	}
 	se.EndAttrs(map[string]uint64{"tuples_in": metrics.TuplesIn})
 	// Register dumps become tuples at the stream processor; count them into
 	// the headline metric like any other delivered tuple.
@@ -178,10 +530,11 @@ func (r *Runtime) closeWindow() *WindowReport {
 		TuplesToSP: metrics.TuplesIn,
 		PerQuery:   metrics.PerQuery,
 		Switch:     stats,
+		ShardBusy:  shardBusy,
 	}
 	r.collisionSum += stats.Collisions
 	r.packetsSum += stats.PacketsIn
-	rep.EmitterFrames, rep.EmitterMalformed = r.em.WindowStats()
+	rep.EmitterFrames, rep.EmitterMalformed = emFrames, emBad
 
 	for _, res := range results {
 		if r.finest[res.QID] == res.Level {
@@ -195,12 +548,13 @@ func (r *Runtime) closeWindow() *WindowReport {
 	for li, l := range r.links {
 		keys := r.refinedKeys(results, l)
 		table := planner.DynTableName(l.qid, int(l.to))
-		r.engine.Dyn().Replace(table, keys)
+		r.dynOf(l.qid, l.to).Replace(table, keys)
+		sw := r.swOf(l.qid, l.to)
 		for _, side := range []pisa.Side{pisa.SideLeft, pisa.SideRight} {
 			// Op 0 is the dynamic filter by construction of AugmentQuery;
 			// instances whose cut keeps the filter at the stream processor
 			// reject the update, which is expected.
-			if n, err := r.sw.UpdateDynTable(l.qid, l.to, side, 0, keys); err == nil {
+			if n, err := sw.UpdateDynTable(l.qid, l.to, side, 0, keys); err == nil {
 				rep.FilterUpdates += n
 			}
 		}
@@ -225,6 +579,23 @@ func (r *Runtime) closeWindow() *WindowReport {
 	}
 	r.window++
 	return rep
+}
+
+// swOf returns the switch hosting the given instance (the owner shard's in
+// sharded mode).
+func (r *Runtime) swOf(qid uint16, level uint8) *pisa.Switch {
+	if len(r.shards) > 0 {
+		return r.shards[r.owner[stream.QueryKey{QID: qid, Level: level}]].sw
+	}
+	return r.sw
+}
+
+// dynOf returns the dynamic filter tables guarding the given instance.
+func (r *Runtime) dynOf(qid uint16, level uint8) *stream.DynTables {
+	if len(r.shards) > 0 {
+		return r.shards[r.owner[stream.QueryKey{QID: qid, Level: level}]].engine.Dyn()
+	}
+	return r.engine.Dyn()
 }
 
 // refinedKeys extracts the dyn-table keys from one level's results. For

@@ -19,18 +19,34 @@ type runtimeMetrics struct {
 	windowNS       *telemetry.Histogram
 	filterUpdateNS *telemetry.Histogram
 	windowIndex    *telemetry.Gauge
+	// packets feeds sonata_switch_packets_total from the sharded fan-out
+	// path, where the runtime parses each frame once and the shard switches
+	// never see Process. The registry hands back the same handle the
+	// sequential switch uses, so the series is identical either way.
+	packets *telemetry.Counter
 }
 
 // Instrument registers the whole deployment against reg and attaches the
 // span tracer (either may be nil). It threads the registry through the
-// switch, the emitter, and the stream engine, so one call lights up the
-// full pipeline.
+// switch, the emitter, and the stream engine — per shard in sharded mode,
+// where counter series fold into the same totals and the register gauges
+// split per shard — so one call lights up the full pipeline.
 func (r *Runtime) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	r.tracer = tr
-	r.sw.Instrument(reg)
-	r.engine.Instrument(reg)
-	r.em.Instrument(reg)
+	if len(r.shards) > 0 {
+		for i, s := range r.shards {
+			s.sw.InstrumentShard(reg, i)
+			s.engine.Instrument(reg)
+			s.em.Instrument(reg)
+		}
+	} else {
+		r.sw.Instrument(reg)
+		r.engine.Instrument(reg)
+		r.em.Instrument(reg)
+	}
 	r.m = runtimeMetrics{
+		packets: reg.Counter("sonata_switch_packets_total",
+			"Frames processed by the data plane."),
 		windows: reg.Counter("sonata_runtime_windows_total",
 			"Query windows processed since deployment."),
 		tuplesToSP: reg.Counter("sonata_runtime_tuples_to_sp_total",

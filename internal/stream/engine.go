@@ -61,6 +61,19 @@ type Metrics struct {
 	PerQuery map[QueryKey]uint64
 }
 
+// Merge folds another shard's window metrics into m. Query instances are
+// disjoint across shards, so the per-query merge is a plain union and the
+// total a plain sum — the associativity the sharded runtime relies on.
+func (m *Metrics) Merge(o Metrics) {
+	m.TuplesIn += o.TuplesIn
+	if len(o.PerQuery) > 0 && m.PerQuery == nil {
+		m.PerQuery = make(map[QueryKey]uint64, len(o.PerQuery))
+	}
+	for k, v := range o.PerQuery {
+		m.PerQuery[k] += v
+	}
+}
+
 // joinItem is a buffered left-side record of a packet-phase join awaiting
 // the right side's window output.
 type joinItem struct {

@@ -284,7 +284,6 @@ type DNSTunnel struct {
 	Domain           string
 	QueriesPerWindow int
 	Active           span
-	counter          int
 }
 
 func NewDNSTunnel(client, resolver uint32, domain string, perWindow int, start, end time.Duration) *DNSTunnel {
@@ -295,23 +294,40 @@ func (a *DNSTunnel) Truth() GroundTruth {
 	return GroundTruth{Kind: KindDNSTunnel, Victim: a.Client, Domain: a.Domain, Start: a.Active.Start, End: a.Active.End}
 }
 
+// chunkBase recomputes how many queries the tunnel emitted in every window
+// before w from the window geometry alone. Deriving the label counter this
+// way (instead of a field that persists across EmitWindow calls) keeps
+// labels unique across windows while letting windows be generated in any
+// order, concurrently, or more than once.
+func (a *DNSTunnel) chunkBase(w WindowCtx) int {
+	base := 0
+	for j := 0; j < w.Index; j++ {
+		prev := WindowCtx{Index: j, Start: time.Duration(j) * w.Width, Width: w.Width}
+		if f0, f1, ok := a.Active.overlap(prev); ok {
+			base += int(float64(a.QueriesPerWindow) * (f1 - f0))
+		}
+	}
+	return base
+}
+
 func (a *DNSTunnel) EmitWindow(w WindowCtx, emit func(Record)) {
 	f0, f1, ok := a.Active.overlap(w)
 	if !ok {
 		return
 	}
 	n := int(float64(a.QueriesPerWindow) * (f1 - f0))
+	counter := a.chunkBase(w)
 	for k := 0; k < n; k++ {
 		// Unique chunk label per query; windows never repeat labels because
-		// the counter persists across windows.
-		a.counter++
-		qname := fmt.Sprintf("x%08x.%s", a.counter, a.Domain)
+		// the counter continues from the windows before this one.
+		counter++
+		qname := fmt.Sprintf("x%08x.%s", counter, a.Domain)
 		frac := spread(f0, f1, n, k)
 		spec := packet.FrameSpec{SrcMAC: macA, DstMAC: macB, SrcIP: a.Client, DstIP: a.Resolver, SrcPort: ephemeralPort(w.Rand)}
-		emit(Record{w.rel(frac), packet.BuildDNSQuery(nil, &spec, uint16(a.counter), qname, packet.DNSTypeTXT)})
+		emit(Record{w.rel(frac), packet.BuildDNSQuery(nil, &spec, uint16(counter), qname, packet.DNSTypeTXT)})
 		ans := []packet.DNSRecord{{Name: qname, Type: packet.DNSTypeTXT, Class: 1, TTL: 1, Data: []byte("ok")}}
 		rspec := packet.FrameSpec{SrcMAC: macB, DstMAC: macA, SrcIP: a.Resolver, DstIP: a.Client, DstPort: spec.SrcPort}
-		emit(Record{w.rel(frac + 0.0003), packet.BuildDNSResponse(nil, &rspec, uint16(a.counter), qname, packet.DNSTypeTXT, ans)})
+		emit(Record{w.rel(frac + 0.0003), packet.BuildDNSResponse(nil, &rspec, uint16(counter), qname, packet.DNSTypeTXT, ans)})
 	}
 }
 
@@ -327,7 +343,6 @@ type Zorro struct {
 	Active           span
 	ShellAt          time.Duration
 	ShellPackets     int
-	emitted          int
 }
 
 func NewZorro(attacker, victim uint32, perWindow int, start, end, shellAt time.Duration) *Zorro {
@@ -351,11 +366,12 @@ func (a *Zorro) EmitWindow(w WindowCtx, emit func(Record)) {
 			})})
 		}
 	}
-	// Shell phase: the "zorro" command packets.
-	if a.emitted < a.ShellPackets && a.ShellAt >= w.Start && a.ShellAt < w.Start+w.Width {
+	// Shell phase: the "zorro" command packets. ShellAt falls inside exactly
+	// one window, so the containment check alone bounds the phase to
+	// ShellPackets total — no cross-window emission count needed.
+	if a.ShellAt >= w.Start && a.ShellAt < w.Start+w.Width {
 		base := float64(a.ShellAt-w.Start) / float64(w.Width)
 		for k := 0; k < a.ShellPackets; k++ {
-			a.emitted++
 			emit(Record{w.rel(base + float64(k)*0.001), packet.BuildFrame(nil, &packet.FrameSpec{
 				SrcMAC: macA, DstMAC: macB, SrcIP: a.Attacker, DstIP: a.Victim, Proto: 6,
 				SrcPort: 31337, DstPort: 23, TCPFlags: flagACK | flagPSH,

@@ -3,6 +3,8 @@ package trace
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/packet"
@@ -69,15 +71,25 @@ type Attack interface {
 	EmitWindow(w WindowCtx, emit func(Record))
 }
 
-// Generator produces trace windows deterministically.
+// Generator produces trace windows deterministically. WindowRecords is pure
+// per window — all sampling state is derived from (Seed, window index) — so
+// windows may be generated in any order or concurrently (see GenerateWindows).
 type Generator struct {
 	cfg     Config
 	clients *hostPopulation
 	servers *hostPopulation
 	domains []string
-	domZipf *rand.Zipf
-	domRand *rand.Rand
 	attacks []Attack
+}
+
+// winSamplers holds the window-scoped popularity samplers the background
+// traffic draws from. They replace generator-wide samplers (whose shared rng
+// made window generation order-dependent) without changing the sampled
+// distributions.
+type winSamplers struct {
+	clients *hostSampler
+	servers *hostSampler
+	domZipf *rand.Zipf
 }
 
 // NewGenerator validates cfg and builds the host and domain populations.
@@ -105,8 +117,6 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	for i := range g.domains {
 		g.domains[i] = fmt.Sprintf("site%04d.%s", i, tlds[r.Intn(len(tlds))])
 	}
-	g.domRand = rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
-	g.domZipf = rand.NewZipf(g.domRand, cfg.ZipfS, 1, uint64(len(g.domains)-1))
 	return g, nil
 }
 
@@ -144,8 +154,18 @@ func (g *Generator) WindowRecords(i int) Window {
 	recs := make([]Record, 0, g.cfg.PacketsPerWindow+g.cfg.PacketsPerWindow/8)
 	emit := func(r Record) { recs = append(recs, r) }
 
+	// The popularity samplers get an rng of their own (distinct from the
+	// background stream) so the number of draws a Zipf rejection loop burns
+	// never shifts the flow-level randomness.
+	sr := rand.New(rand.NewSource(g.cfg.Seed + int64(i)*1_000_003 + 29))
+	s := &winSamplers{
+		clients: g.clients.sampler(sr),
+		servers: g.servers.sampler(sr),
+		domZipf: rand.NewZipf(sr, g.cfg.ZipfS, 1, uint64(len(g.domains)-1)),
+	}
+
 	bg := rand.New(rand.NewSource(g.cfg.Seed + int64(i)*1_000_003 + 17))
-	g.emitBackground(WindowCtx{Index: i, Start: start, Width: g.cfg.Window, Rand: bg}, emit)
+	g.emitBackground(WindowCtx{Index: i, Start: start, Width: g.cfg.Window, Rand: bg}, s, emit)
 
 	for ai, a := range g.attacks {
 		ar := rand.New(rand.NewSource(g.cfg.Seed + int64(i)*1_000_003 + int64(ai+1)*7_919))
@@ -155,8 +175,49 @@ func (g *Generator) WindowRecords(i int) Window {
 	return Window{Index: i, Start: start, Records: recs}
 }
 
+// GenerateWindows produces every window of the trace using up to workers
+// goroutines and delivers them to fn in index order from the calling
+// goroutine. Window generation is pure per window (all sampling state is
+// derived from the seed and the window index), so the records are
+// byte-identical at any worker count.
+func (g *Generator) GenerateWindows(workers int, fn func(Window)) {
+	n := g.cfg.Windows
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(g.WindowRecords(i))
+		}
+		return
+	}
+	out := make([]chan Window, n)
+	for i := range out {
+		out[i] = make(chan Window, 1)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] <- g.WindowRecords(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		fn(<-out[i])
+	}
+	wg.Wait()
+}
+
 // emitBackground fills the window's background packet budget with flows.
-func (g *Generator) emitBackground(w WindowCtx, emit func(Record)) {
+func (g *Generator) emitBackground(w WindowCtx, s *winSamplers, emit func(Record)) {
 	budget := g.cfg.PacketsPerWindow
 	count := 0
 	emitCounted := func(r Record) {
@@ -166,11 +227,11 @@ func (g *Generator) emitBackground(w WindowCtx, emit func(Record)) {
 	for count < budget {
 		switch x := w.Rand.Float64(); {
 		case x < 0.84:
-			g.emitTCPFlow(w, emitCounted)
+			g.emitTCPFlow(w, s, emitCounted)
 		case x < 0.98:
-			g.emitUDPFlow(w, emitCounted)
+			g.emitUDPFlow(w, s, emitCounted)
 		default:
-			g.emitOther(w, emitCounted)
+			g.emitOther(w, s, emitCounted)
 		}
 	}
 }
@@ -193,10 +254,10 @@ func frameSize(r *rand.Rand) int {
 	}
 }
 
-func (g *Generator) emitTCPFlow(w WindowCtx, emit func(Record)) {
+func (g *Generator) emitTCPFlow(w WindowCtx, s *winSamplers, emit func(Record)) {
 	r := w.Rand
-	client := g.clients.pick()
-	server := g.servers.pick()
+	client := s.clients.pick()
+	server := s.servers.pick()
 	sport := ephemeralPort(r)
 	dport := servicePort(r)
 	npkts := paretoInt(r, 4, 1.3, 48)
@@ -251,14 +312,14 @@ func (g *Generator) emitTCPFlow(w WindowCtx, emit func(Record)) {
 	}
 }
 
-func (g *Generator) emitUDPFlow(w WindowCtx, emit func(Record)) {
+func (g *Generator) emitUDPFlow(w WindowCtx, s *winSamplers, emit func(Record)) {
 	r := w.Rand
-	client := g.clients.pick()
+	client := s.clients.pick()
 	if r.Float64() < g.cfg.DNSShare {
-		g.emitDNSExchange(w, client, emit)
+		g.emitDNSExchange(w, s, client, emit)
 		return
 	}
-	server := g.servers.pick()
+	server := s.servers.pick()
 	sport := ephemeralPort(r)
 	dport := servicePort(r)
 	n := 1 + r.Intn(8)
@@ -271,11 +332,11 @@ func (g *Generator) emitUDPFlow(w WindowCtx, emit func(Record)) {
 	}
 }
 
-func (g *Generator) emitDNSExchange(w WindowCtx, client uint32, emit func(Record)) {
+func (g *Generator) emitDNSExchange(w WindowCtx, s *winSamplers, client uint32, emit func(Record)) {
 	r := w.Rand
-	resolver := g.servers.pick()
+	resolver := s.servers.pick()
 	sport := ephemeralPort(r)
-	dom := g.domains[g.domZipf.Uint64()]
+	dom := g.domains[s.domZipf.Uint64()]
 	qname := dom
 	if r.Float64() < 0.6 {
 		qname = "www." + dom
@@ -295,10 +356,10 @@ func (g *Generator) emitDNSExchange(w WindowCtx, client uint32, emit func(Record
 	emit(Record{w.rel(startFrac + 0.001), packet.BuildDNSResponse(nil, &rspec, id, qname, packet.DNSTypeA, answers)})
 }
 
-func (g *Generator) emitOther(w WindowCtx, emit func(Record)) {
+func (g *Generator) emitOther(w WindowCtx, s *winSamplers, emit func(Record)) {
 	r := w.Rand
 	emit(Record{w.rel(r.Float64()), packet.BuildFrame(nil, &packet.FrameSpec{
-		SrcMAC: macA, DstMAC: macB, SrcIP: g.clients.pick(), DstIP: g.servers.pick(),
+		SrcMAC: macA, DstMAC: macB, SrcIP: s.clients.pick(), DstIP: s.servers.pick(),
 		Proto: 1, Pad: 84,
 	})})
 }

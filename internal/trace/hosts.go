@@ -13,7 +13,7 @@ import (
 // exploits).
 type hostPopulation struct {
 	addrs []uint32
-	zipf  *rand.Zipf
+	zipfS float64
 }
 
 // newHostPopulation builds n hosts spread over the given number of /8
@@ -54,15 +54,25 @@ func newHostPopulation(r *rand.Rand, n, slash8s int, zipfS float64) *hostPopulat
 		seen[a] = true
 		addrs = append(addrs, a)
 	}
-	return &hostPopulation{
-		addrs: addrs,
-		zipf:  rand.NewZipf(r, zipfS, 1, uint64(n-1)),
-	}
+	return &hostPopulation{addrs: addrs, zipfS: zipfS}
+}
+
+// hostSampler draws hosts with Zipf-ranked popularity from its own rng, so
+// each window samples independently: windows own their randomness and can be
+// generated in any order — or concurrently — with identical results.
+type hostSampler struct {
+	addrs []uint32
+	zipf  *rand.Zipf
+}
+
+// sampler binds a popularity sampler over the population to r.
+func (h *hostPopulation) sampler(r *rand.Rand) *hostSampler {
+	return &hostSampler{addrs: h.addrs, zipf: rand.NewZipf(r, h.zipfS, 1, uint64(len(h.addrs)-1))}
 }
 
 // pick returns a host with Zipf-ranked popularity.
-func (h *hostPopulation) pick() uint32 {
-	return h.addrs[h.zipf.Uint64()]
+func (s *hostSampler) pick() uint32 {
+	return s.addrs[s.zipf.Uint64()]
 }
 
 // pickUniform returns a host uniformly at random.

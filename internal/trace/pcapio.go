@@ -12,14 +12,28 @@ import (
 // Virtual timestamps are anchored at epoch, which keeps files byte-for-byte
 // reproducible.
 func WritePcap(w io.Writer, g *Generator) error {
+	return WritePcapParallel(w, g, 1)
+}
+
+// WritePcapParallel is WritePcap with window generation spread over up to
+// workers goroutines. Windows are written in order and generation is pure
+// per window, so the output bytes are identical at any worker count.
+func WritePcapParallel(w io.Writer, g *Generator, workers int) error {
 	pw := pcap.NewWriter(w, pcap.LinkTypeEthernet, 65535)
-	for i := 0; i < g.Windows(); i++ {
-		win := g.WindowRecords(i)
+	var werr error
+	g.GenerateWindows(workers, func(win Window) {
+		if werr != nil {
+			return
+		}
 		for _, rec := range win.Records {
 			if err := pw.WritePacket(time.Unix(0, 0).Add(rec.TS), rec.Data); err != nil {
-				return fmt.Errorf("trace: window %d: %w", i, err)
+				werr = fmt.Errorf("trace: window %d: %w", win.Index, err)
+				return
 			}
 		}
+	})
+	if werr != nil {
+		return werr
 	}
 	return pw.Flush()
 }
