@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke
+.PHONY: check fmt vet build test race bench bench-smoke check-metrics
 
-check: fmt vet build test race
+check: fmt vet build test race check-metrics
 	-@$(MAKE) --no-print-directory bench-smoke
 
 fmt:
@@ -25,6 +25,12 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem
+
+# Metric-naming lint: instruments a full deployment (runtime + flight
+# recorder) into one registry and runs telemetry.Registry.Lint over every
+# family (sonata_ prefix, counter/gauge/histogram suffix rules, HELP text).
+check-metrics:
+	$(GO) test -run 'TestMetricsLint|TestLint' ./internal/runtime ./internal/telemetry
 
 # Quick perf regression probe: the four hot-path benchmarks, sequential vs
 # sharded, at a fixed iteration count. Non-gating in `make check` (perf noise

@@ -32,6 +32,7 @@ import (
 	"repro/internal/emitter"
 	"repro/internal/eval"
 	"repro/internal/fields"
+	"repro/internal/flightrec"
 	"repro/internal/packet"
 	"repro/internal/pisa"
 	"repro/internal/planner"
@@ -433,4 +434,52 @@ func BenchmarkEndToEndWindow(b *testing.B) {
 	// shard counts while `sequential` stays the single-goroutine baseline.
 	b.Run("sequential", func(b *testing.B) { run(b, 1) })
 	b.Run("sharded", func(b *testing.B) { run(b, goruntime.GOMAXPROCS(0)) })
+}
+
+// BenchmarkEndToEndWindowFlightRec measures the flight recorder's overhead
+// on the ingest hot path: the identical sequential window replay with the
+// recorder detached ("off") and attached ("on"). The per-packet cost of the
+// recorder is a handful of plain uint64 increments, so on/off ns/op should
+// stay within a couple of percent (BENCH_pr3.json records the measurement).
+func BenchmarkEndToEndWindowFlightRec(b *testing.B) {
+	w := benchWorkload(b)
+	params := eval.ScaledParams(benchScale())
+	qs := queries.TopEight(params)
+	tr, err := planner.Train(qs, []int{8, 16, 24}, w.TrainingFrames())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := planner.PlanQueries(tr, qs, pisa.DefaultConfig(), planner.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := w.Frames(2)
+	var pkts int
+	for _, f := range frames {
+		pkts += len(f)
+	}
+	run := func(b *testing.B, rec *flightrec.Recorder) {
+		b.Helper()
+		rt, err := runtime.NewWithOptions(plan, pisa.DefaultConfig(), runtime.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec != nil {
+			rt.AttachFlightRecorder(rec)
+		}
+		b.SetBytes(int64(pkts))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.ProcessWindow(frames)
+		}
+		b.StopTimer()
+		if rec != nil {
+			s := rec.Snapshot(0)
+			if s.Window != b.N-1 {
+				b.Fatalf("recorder committed through window %d, loop ran %d", s.Window, b.N)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, flightrec.New(flightrec.DefaultCapacity, nil)) })
 }

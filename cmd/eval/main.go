@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/flightrec"
 	"repro/internal/pisa"
 	"repro/internal/queries"
 	"repro/internal/telemetry"
@@ -39,12 +40,17 @@ func main() {
 	if *debugAddr != "" {
 		reg := telemetry.NewRegistry()
 		eval.DefaultTelemetry = reg // every deployed runtime registers here
-		srv, addr, err := telemetry.ServeDebug(*debugAddr, reg)
+		rec := flightrec.New(0, nil)
+		rec.Instrument(reg)
+		eval.DefaultFlightRec = rec // /debug/queries follows the live runtime
+		mux := telemetry.NewDebugMux(reg)
+		mux.Handle("/debug/queries", rec.Handler())
+		srv, addr, err := telemetry.ServeDebugMux(*debugAddr, mux)
 		if err != nil {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "[eval] debug endpoint on http://%s (/metrics, /debug/vars, /debug/pprof/)\n", addr)
+		fmt.Fprintf(os.Stderr, "[eval] debug endpoint on http://%s (/metrics, /debug/vars, /debug/pprof/, /debug/queries)\n", addr)
 	}
 
 	var scale eval.Scale

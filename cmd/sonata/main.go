@@ -8,21 +8,31 @@
 //	sonata [-pcap trace.pcap | -synth] [-queries q1,q2,...] [-mode sonata]
 //	       [-window 3s] [-train 2] [-pkts 100000] [-windows 6] [-v]
 //	       [-workers N] [-debug-addr :9090] [-trace spans.jsonl]
+//	       [-flightrec 64]
+//	sonata -top [-debug-addr host:9090] [-top-interval 1s]
 //
 // Query names follow internal/queries (e.g. newly_opened_tcp_conns,
 // superspreader). The default runs the eight header-field queries.
 //
 // With -debug-addr the process serves live introspection while running:
-// /metrics (Prometheus text format), /debug/vars (expvar), and
-// /debug/pprof/. With -trace it appends one JSONL span per window
+// /metrics (Prometheus text format), /debug/vars (expvar), /debug/pprof/,
+// and /debug/queries (the per-query flight recorder; append ?fmt=text for
+// an aligned table). With -trace it appends one JSONL span per window
 // lifecycle stage (trace slice, switch pass, emitter decode, stream eval,
 // filter update) to the given file ("-" for stderr).
+//
+// With -top the command attaches to a running process instead: it polls
+// http://<debug-addr>/debug/queries and renders a refreshing top-style view
+// of per-query tuple-reduction factors, register pressure, plan drift, and
+// attributed busy time.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	goruntime "runtime"
 	"strings"
@@ -30,6 +40,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/flightrec"
 	"repro/internal/packet"
 	"repro/internal/pisa"
 	"repro/internal/planner"
@@ -51,9 +62,22 @@ func main() {
 	nWindows := flag.Int("windows", 6, "synthetic windows")
 	verbose := flag.Bool("v", false, "print every result tuple")
 	workers := flag.Int("workers", goruntime.GOMAXPROCS(0), "window-pipeline worker shards (1 = sequential)")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this address")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof/, and /debug/queries on this address (with -top: the address to poll)")
 	tracePath := flag.String("trace", "", "append per-window lifecycle spans as JSONL to this file (\"-\" for stderr)")
+	frCap := flag.Int("flightrec", flightrec.DefaultCapacity, "flight-recorder ring capacity (windows retained)")
+	top := flag.Bool("top", false, "poll a running process's /debug/queries and render a refreshing top view")
+	topInterval := flag.Duration("top-interval", time.Second, "refresh interval for -top")
 	flag.Parse()
+
+	if *top {
+		if *debugAddr == "" {
+			fatal(fmt.Errorf("-top needs -debug-addr of the process to watch"))
+		}
+		if err := runTop(*debugAddr, *topInterval); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	mode, err := parseMode(*modeName)
 	if err != nil {
@@ -63,17 +87,10 @@ func main() {
 		fatal(fmt.Errorf("-pcap and -synth are mutually exclusive"))
 	}
 
-	// Observability: the registry always exists (instrumentation is free
-	// when nothing reads it); the endpoint and tracer are opt-in.
-	reg := telemetry.NewRegistry()
-	if *debugAddr != "" {
-		srv, addr, err := telemetry.ServeDebug(*debugAddr, reg)
-		if err != nil {
-			fatal(err)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "[sonata] debug endpoint on http://%s (/metrics, /debug/vars, /debug/pprof/)\n", addr)
-	}
+	// Observability: the registry and flight recorder always exist
+	// (instrumentation is free when nothing reads it); the endpoint and
+	// tracer are opt-in. The tracer is created first so the recorder's
+	// eviction spans land in the same stream as the window lifecycle.
 	var tracer *telemetry.Tracer
 	if *tracePath != "" {
 		var w io.Writer = os.Stderr
@@ -86,6 +103,19 @@ func main() {
 			w = f
 		}
 		tracer = telemetry.NewTracer(w)
+	}
+	reg := telemetry.NewRegistry()
+	rec := flightrec.New(*frCap, tracer)
+	rec.Instrument(reg)
+	if *debugAddr != "" {
+		mux := telemetry.NewDebugMux(reg)
+		mux.Handle("/debug/queries", rec.Handler())
+		srv, addr, err := telemetry.ServeDebugMux(*debugAddr, mux)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "[sonata] debug endpoint on http://%s (/metrics, /debug/vars, /debug/pprof/, /debug/queries)\n", addr)
 	}
 
 	// Assemble the packet source.
@@ -150,6 +180,7 @@ func main() {
 		fatal(err)
 	}
 	rt.Instrument(reg, tracer)
+	rt.AttachFlightRecorder(rec)
 	fmt.Fprintln(os.Stderr, "[sonata] plan:")
 	for _, line := range rt.EntrySummary() {
 		fmt.Fprintln(os.Stderr, "  ", line)
@@ -178,6 +209,52 @@ func main() {
 		}
 	}
 	fmt.Printf("cumulative collision rate: %.4f%%\n", rt.CollisionRate()*100)
+}
+
+// runTop polls addr's /debug/queries endpoint every interval and renders a
+// refreshing top-style terminal view. It runs until the endpoint errors
+// repeatedly (e.g. the watched process exited).
+func runTop(addr string, interval time.Duration) error {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	url := "http://" + addr + "/debug/queries"
+	client := &http.Client{Timeout: interval}
+	var prev *flightrec.Snapshot
+	failures := 0
+	for {
+		cur, err := fetchSnapshot(client, url)
+		if err != nil {
+			failures++
+			if failures >= 3 {
+				return fmt.Errorf("polling %s: %w", url, err)
+			}
+		} else {
+			failures = 0
+			// \x1b[H\x1b[2J homes the cursor and clears the screen, the
+			// classic top(1) refresh.
+			fmt.Print("\x1b[H\x1b[2J")
+			fmt.Print(flightrec.RenderTop(prev, cur, interval.Seconds()))
+			prev = cur
+		}
+		time.Sleep(interval)
+	}
+}
+
+func fetchSnapshot(client *http.Client, url string) (*flightrec.Snapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	var s flightrec.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
 }
 
 // readPcapWindows opens, reads, and slices a pcap file into per-window

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/flightrec"
 	"repro/internal/packet"
 	"repro/internal/pisa"
 	"repro/internal/stream"
@@ -160,6 +161,11 @@ type Emitter struct {
 	badFrame uint64
 	// m holds telemetry handles (zero value when uninstrumented).
 	m emitterMetrics
+	// frLookup/frCache attribute encoded byte volume to flight-recorder
+	// probes per (qid, level); the cache keeps the hot path map-lookup-free
+	// after the first frame of each instance.
+	frLookup func(qid uint16, level uint8) *flightrec.Probe
+	frCache  map[uint32]*flightrec.Probe
 }
 
 // bufPool shares encode buffers (which hold the mirror frame copy crossing
@@ -198,6 +204,28 @@ func New(engine *stream.Engine) *Emitter {
 		parser: packet.NewParser(packet.ParserOptions{DecodeDNS: true})}
 }
 
+// AttachFlightRec wires the flight recorder's probe lookup into the
+// emitter, which attributes the encoded byte volume of each mirror frame to
+// its (qid, level) instance. A nil lookup detaches.
+func (e *Emitter) AttachFlightRec(lookup func(qid uint16, level uint8) *flightrec.Probe) {
+	e.frLookup = lookup
+	e.frCache = nil
+	if lookup != nil {
+		e.frCache = make(map[uint32]*flightrec.Probe)
+	}
+}
+
+// frProbe resolves (and caches) the probe for one instance.
+func (e *Emitter) frProbe(qid uint16, level uint8) *flightrec.Probe {
+	key := uint32(qid)<<8 | uint32(level)
+	p, ok := e.frCache[key]
+	if !ok {
+		p = e.frLookup(qid, level)
+		e.frCache[key] = p
+	}
+	return p
+}
+
 // HandleMirror is wired as the switch's mirror callback: it performs the
 // encode/parse round trip the monitoring port implies and forwards the
 // tuple (or packet) to the engine.
@@ -207,6 +235,9 @@ func (e *Emitter) HandleMirror(m pisa.Mirror) {
 	e.frames++
 	e.m.frames.Inc()
 	e.m.bytes.Add(uint64(len(buf)))
+	if e.frLookup != nil {
+		e.frProbe(m.QID, m.Level).Bytes(uint64(len(buf)))
+	}
 	dec, err := DecodeMirror(buf)
 	if err == nil {
 		// The parsed view rides beside the wire format, not in it: the

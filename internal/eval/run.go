@@ -3,6 +3,7 @@ package eval
 import (
 	"time"
 
+	"repro/internal/flightrec"
 	"repro/internal/pisa"
 	"repro/internal/planner"
 	"repro/internal/query"
@@ -20,6 +21,10 @@ var DefaultTelemetry *telemetry.Registry
 // every experiment built with NewExperiment. Zero keeps the sequential
 // pipeline. cmd/eval wires its -workers flag here.
 var DefaultWorkers int
+
+// DefaultFlightRec, when non-nil, is attached to every runtime an
+// experiment deploys, so /debug/queries follows whichever run is live.
+var DefaultFlightRec *flightrec.Recorder
 
 // RunResult summarizes one (query set, plan mode, switch config) execution
 // over the workload's evaluation windows.
@@ -96,6 +101,9 @@ type Experiment struct {
 	// runs the sequential pipeline). Results are identical either way; only
 	// wall time changes.
 	Workers int
+	// FlightRec, when set, is attached to every runtime the experiment
+	// deploys (the recorder resets per deployment, so it tracks the live one).
+	FlightRec *flightrec.Recorder
 
 	training *planner.TrainingResult
 }
@@ -103,7 +111,8 @@ type Experiment struct {
 // NewExperiment prepares an experiment with the default level menu.
 func NewExperiment(w *Workload, qs []*query.Query) *Experiment {
 	return &Experiment{W: w, Queries: qs, Levels: []int{8, 16, 24},
-		Telemetry: DefaultTelemetry, Workers: DefaultWorkers}
+		Telemetry: DefaultTelemetry, Workers: DefaultWorkers,
+		FlightRec: DefaultFlightRec}
 }
 
 // Training trains lazily and caches.
@@ -137,6 +146,9 @@ func (e *Experiment) Run(cfg pisa.Config, mode planner.Mode) (*RunResult, error)
 	}
 	if e.Telemetry != nil {
 		rt.Instrument(e.Telemetry, nil)
+	}
+	if e.FlightRec != nil {
+		rt.AttachFlightRecorder(e.FlightRec)
 	}
 	res := &RunResult{Mode: mode, Detected: make(map[uint64]bool), PlannedN: plan.ExpectedN()}
 	for _, qp := range plan.Queries {

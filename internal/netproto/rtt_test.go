@@ -1,0 +1,133 @@
+package netproto
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// serveCalls answers n request frames on conn with the canonical response
+// type for each request, so client Calls complete.
+func serveCalls(t *testing.T, conn *Conn, n int) chan error {
+	t.Helper()
+	done := make(chan error, 1)
+	responses := map[MsgType]MsgType{
+		MsgHello:       MsgCapabilities,
+		MsgUpdateTable: MsgUpdateOK,
+		MsgEndWindow:   MsgWindowData,
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			req, _, err := conn.RecvRaw()
+			if err != nil {
+				done <- err
+				return
+			}
+			resp, ok := responses[req]
+			if !ok {
+				done <- fmt.Errorf("unexpected request %s", req)
+				return
+			}
+			var payload any
+			if resp == MsgWindowData {
+				payload = WindowData{}
+			}
+			if err := conn.Send(resp, payload); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	return done
+}
+
+// TestCallRTTHistograms: every Call lands one observation in the RTT
+// histogram labeled with the request's message type — and only that type's.
+func TestCallRTTHistograms(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	client, server := NewConn(c1), NewConn(c2)
+	reg := telemetry.NewRegistry()
+	client.Instrument(reg)
+
+	done := serveCalls(t, server, 3)
+	if err := client.Call(MsgHello, Hello{Version: ProtocolVersion}, MsgCapabilities, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := client.Call(MsgUpdateTable, UpdateTable{QID: 1}, MsgUpdateOK, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	cases := []struct {
+		mt   MsgType
+		want uint64
+	}{
+		{MsgHello, 1},
+		{MsgUpdateTable, 2},
+		{MsgEndWindow, 0},
+		{MsgInstall, 0},
+	}
+	for _, c := range cases {
+		key := fmt.Sprintf(`sonata_netproto_rtt_ns{type="%s"}`, c.mt)
+		hv, ok := s.Histograms[key]
+		if !ok {
+			t.Fatalf("no histogram series %s (have %v)", key, keysOf(s))
+		}
+		if hv.Count != c.want {
+			t.Errorf("%s: count = %d, want %d", key, hv.Count, c.want)
+		}
+		if c.want > 0 && hv.Sum == 0 {
+			t.Errorf("%s: %d observations but zero summed RTT", key, hv.Count)
+		}
+	}
+	// Frame counters see both directions of every call.
+	if got := s.Counter("sonata_netproto_frames_sent_total"); got != 3 {
+		t.Errorf("frames sent = %d, want 3", got)
+	}
+	if got := s.Counter("sonata_netproto_frames_recv_total"); got != 3 {
+		t.Errorf("frames recv = %d, want 3", got)
+	}
+}
+
+func keysOf(s telemetry.Snapshot) []string {
+	var out []string
+	for k := range s.Histograms {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestCallUninstrumented: Call must work (and not panic) on a connection
+// that was never instrumented, and after Instrument(nil) — the nil-handle
+// discipline of the telemetry package.
+func TestCallUninstrumented(t *testing.T) {
+	for name, instrument := range map[string]func(*Conn){
+		"never":   func(*Conn) {},
+		"nil-reg": func(c *Conn) { c.Instrument(nil) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			c1, c2 := net.Pipe()
+			defer c1.Close()
+			defer c2.Close()
+			client, server := NewConn(c1), NewConn(c2)
+			instrument(client)
+			done := serveCalls(t, server, 1)
+			if err := client.Call(MsgEndWindow, nil, MsgWindowData, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

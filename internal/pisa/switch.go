@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/compile"
+	"repro/internal/flightrec"
 	"repro/internal/packet"
 	"repro/internal/query"
 	"repro/internal/stream"
@@ -82,6 +83,14 @@ type instState struct {
 	// not retain Vals past the callback).
 	valsScratch []tuple.Value
 	keyScratch  []byte
+	// fr is the instance's flight-recorder probe (nil when detached; nil
+	// probes no-op). frStage[t] is the probe's global stage index for table
+	// t's op, or -1 when an earlier table already counted that op (stateful
+	// ops lower to a hash-index + state-update table pair). frBase offsets
+	// right-side instances into the probe's combined stage space.
+	fr      *flightrec.Probe
+	frStage []int
+	frBase  int
 }
 
 // packetView pairs a parsed packet with its raw frame so mirrors can carry
@@ -203,6 +212,44 @@ func (sw *Switch) UpdateDynTable(qid uint16, level uint8, side Side, opIdx int, 
 // written.
 func (sw *Switch) TableUpdates() uint64 { return sw.tableUpdates }
 
+// AttachFlightRec wires flight-recorder probes into every installed
+// instance: per-table entering-packet counts, collision shunts, mirror
+// reports, and register occupancy feed the probe of the instance's
+// (qid, level). A nil lookup (or a lookup returning nil) detaches.
+func (sw *Switch) AttachFlightRec(lookup func(qid uint16, level uint8) *flightrec.Probe) {
+	for _, st := range sw.insts {
+		spec := st.spec
+		st.fr, st.frStage, st.frBase = nil, nil, 0
+		if lookup == nil {
+			continue
+		}
+		p := lookup(spec.QID, spec.Level)
+		if p == nil {
+			continue
+		}
+		st.fr = p
+		if spec.Side == SideRight {
+			st.frBase = p.RightBase()
+		}
+		// A stateful op lowers to two tables (hash-index + state-update);
+		// count its entering packets at the first table only.
+		st.frStage = make([]int, spec.CutAt)
+		seen := make(map[int]bool, spec.CutAt)
+		for t := 0; t < spec.CutAt; t++ {
+			op := spec.Tables[t].OpIdx
+			if seen[op] {
+				st.frStage[t] = -1
+				continue
+			}
+			seen[op] = true
+			st.frStage[t] = st.frBase + op
+		}
+		for _, bank := range st.banks {
+			p.AddRegCapacity(uint64(bank.Capacity()))
+		}
+	}
+}
+
 // Process parses one frame and runs it through every installed instance.
 // The packet is forwarded unmodified (Sonata only touches metadata); the
 // return value is the number of mirror reports generated. Malformed frames
@@ -255,7 +302,7 @@ func (sw *Switch) processInstance(st *instState, pkt *packetView) bool {
 		if pkt.clean {
 			m.Parsed = pkt.pkt
 		}
-		sw.emit(m)
+		sw.emit(st, m)
 		return true
 	}
 
@@ -265,6 +312,9 @@ func (sw *Switch) processInstance(st *instState, pkt *packetView) bool {
 	for t := 0; t < spec.CutAt; t++ {
 		tab := &spec.Tables[t]
 		o := &spec.Ops[tab.OpIdx]
+		if st.fr != nil && st.frStage[t] >= 0 {
+			st.fr.OpSwitch(st.frStage[t])
+		}
 		switch tab.Kind {
 		case compile.TableFilter:
 			if inTuplePhase {
@@ -335,6 +385,7 @@ func (sw *Switch) processInstance(st *instState, pkt *packetView) bool {
 				// executes the stateful op itself for this packet.
 				sw.stats.Collisions++
 				sw.m.collisions.Inc()
+				st.fr.Collision()
 				m := Mirror{QID: spec.QID, Level: spec.Level, Side: spec.Side,
 					Overflow: true, MergeOp: tab.OpIdx, Vals: vals}
 				if spec.NeedsPacket {
@@ -343,7 +394,7 @@ func (sw *Switch) processInstance(st *instState, pkt *packetView) bool {
 						m.Parsed = pkt.pkt
 					}
 				}
-				sw.emit(m)
+				sw.emit(st, m)
 				return true
 			}
 			last := t == spec.CutAt-1
@@ -368,6 +419,9 @@ func (sw *Switch) processInstance(st *instState, pkt *packetView) bool {
 				vals = next
 			}
 			if m := tab.MergedFilterOp; m >= 0 {
+				if st.fr != nil {
+					st.fr.OpSwitch(st.frBase + m)
+				}
 				mo := &spec.Ops[m]
 				for i := range mo.Clauses {
 					if !mo.Clauses[i].MatchTuple(vals) {
@@ -390,13 +444,14 @@ func (sw *Switch) processInstance(st *instState, pkt *packetView) bool {
 			m.Parsed = pkt.pkt
 		}
 	}
-	sw.emit(m)
+	sw.emit(st, m)
 	return true
 }
 
-func (sw *Switch) emit(m Mirror) {
+func (sw *Switch) emit(st *instState, m Mirror) {
 	sw.stats.Mirrored++
 	sw.m.mirrored.Inc()
+	st.fr.Mirror()
 	sw.mirror(m)
 }
 
@@ -425,13 +480,20 @@ func (sw *Switch) EndWindow() ([]RegDump, WindowStats) {
 			last := t == spec.CutAt-1
 			if last {
 				for _, e := range bank.Dump() {
-					if m := tab.MergedFilterOp; m >= 0 && !dumpPasses(&spec.Ops[m], e) {
-						continue
+					if m := tab.MergedFilterOp; m >= 0 {
+						if st.fr != nil {
+							st.fr.OpSwitch(st.frBase + m)
+						}
+						if !dumpPasses(&spec.Ops[m], e) {
+							continue
+						}
 					}
+					st.fr.DumpTuple()
 					dumps = append(dumps, RegDump{QID: spec.QID, Level: spec.Level,
 						Side: spec.Side, MergeOp: tab.OpIdx, KeyVals: e.KeyVals, Val: e.Val})
 				}
 			}
+			st.fr.RegOccupied(uint64(bank.Stored()))
 			bank.Reset()
 		}
 	}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/emitter"
 	"repro/internal/fields"
+	"repro/internal/flightrec"
 	"repro/internal/packet"
 	"repro/internal/pisa"
 	"repro/internal/planner"
@@ -119,6 +120,12 @@ type Runtime struct {
 	links  []link
 	finest map[uint16]uint8
 	window int
+	// infos preserves the flattened plan (installation order); the flight
+	// recorder tracks one probe per entry. flight/frProbes are nil until
+	// AttachFlightRecorder.
+	infos    []instInfo
+	flight   *flightrec.Recorder
+	frProbes map[stream.QueryKey]*flightrec.Probe
 	// collisionSum tracks cumulative collisions for the re-planning signal.
 	collisionSum uint64
 	packetsSum   uint64
@@ -193,6 +200,8 @@ func NewWithOptions(plan *planner.Plan, cfg pisa.Config, opts Options) (*Runtime
 			}
 		}
 	}
+
+	r.infos = infos
 
 	workers := opts.Workers
 	if workers < 1 {
@@ -559,9 +568,17 @@ func (r *Runtime) closeWindow() *WindowReport {
 			}
 		}
 		rep.FilterUpdates += len(keys) // the SP-side table update
-		if fp := keyFingerprint(keys); fp != r.lastKeys[li] {
+		fp := keyFingerprint(keys)
+		changed := fp != r.lastKeys[li]
+		if changed {
 			r.lastKeys[li] = fp
 			r.m.refTransitions.Inc()
+		}
+		// The flight recorder attributes the transition to the gated (finer)
+		// instance: how many keys now admit its traffic, and whether the set
+		// moved this window.
+		if p := r.frProbes[stream.QueryKey{QID: l.qid, Level: l.to}]; p != nil {
+			p.Refined(uint64(len(keys)), changed)
 		}
 	}
 	rep.UpdateDuration = time.Since(start)
@@ -577,6 +594,9 @@ func (r *Runtime) closeWindow() *WindowReport {
 		r.m.windowNS.ObserveDuration(time.Since(r.windowStart))
 		r.windowStart = time.Time{}
 	}
+	// Seal the window into the flight recorder with the very values the
+	// report carries (a nil recorder no-ops).
+	r.flight.Commit(rep.Index, stats.PacketsIn, shardBusy)
 	r.window++
 	return rep
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/fields"
+	"repro/internal/flightrec"
 	"repro/internal/packet"
 	"repro/internal/query"
 	"repro/internal/telemetry"
@@ -104,6 +105,9 @@ type runningQuery struct {
 	// m holds the instance's pre-registered telemetry series (zero value
 	// when the engine is uninstrumented).
 	m queryMetrics
+	// fr is the instance's flight-recorder probe (nil when no recorder is
+	// attached; nil probes no-op).
+	fr *flightrec.Probe
 }
 
 // Engine hosts the installed query instances and processes one window at a
@@ -118,6 +122,9 @@ type Engine struct {
 	// handles (uninstrumented) make every increment a no-op.
 	reg *telemetry.Registry
 	m   engineMetrics
+	// frLookup resolves a (qid, level) instance to its flight-recorder
+	// probe (nil when no recorder is attached).
+	frLookup func(qid uint16, level uint8) *flightrec.Probe
 }
 
 // NewEngine returns an engine sharing the given dynamic filter tables with
@@ -186,8 +193,25 @@ func (e *Engine) Install(q *query.Query, level uint8, part Partition) error {
 		e.order = append(e.order, rq.key)
 	}
 	e.instrumentQuery(rq)
+	if e.frLookup != nil {
+		rq.fr = e.frLookup(rq.key.QID, rq.key.Level)
+	}
 	e.queries[rq.key] = rq
 	return nil
+}
+
+// AttachFlightRec wires the flight recorder's probe lookup into the engine
+// and retro-attaches every already-installed instance. Instances installed
+// later pick it up automatically. A nil lookup detaches.
+func (e *Engine) AttachFlightRec(lookup func(qid uint16, level uint8) *flightrec.Probe) {
+	e.frLookup = lookup
+	for _, key := range e.order {
+		rq := e.queries[key]
+		rq.fr = nil
+		if lookup != nil {
+			rq.fr = lookup(key.QID, key.Level)
+		}
+	}
 }
 
 // Installed returns the keys of all installed query instances in
@@ -209,6 +233,9 @@ func (e *Engine) count(rq *runningQuery) {
 	e.metrics.PerQuery[rq.key]++
 	e.m.tuplesIn.Inc()
 	rq.m.tuplesIn.Inc()
+	// The flight recorder shares this increment with PerQuery, so the
+	// /debug/queries tuple counts can never disagree with WindowReport.
+	rq.fr.Tuple()
 }
 
 // IngestPacket delivers a raw (or mirrored) packet to the left pipeline of
@@ -341,11 +368,48 @@ func (e *Engine) EndWindow() ([]Result, Metrics) {
 		e.m.evalNS.ObserveDuration(elapsed)
 		rq.m.results.Add(uint64(len(res.Tuples)))
 		e.m.resultTuples.Add(uint64(len(res.Tuples)))
+		if rq.fr != nil {
+			rq.fr.Eval(uint64(len(res.Tuples)), elapsed)
+			e.flushOpCounts(rq)
+		}
 		results = append(results, res)
 	}
 	m := e.metrics
 	e.metrics = Metrics{PerQuery: make(map[QueryKey]uint64)}
 	return results, m
+}
+
+// flushOpCounts copies each executor's per-op window counters into the
+// instance's flight-recorder probe under the probe's global stage indexing
+// (left ops, then right, then post), then resets the executors' counters.
+// The packet-phase-left path needs a remap: its pre-packet executor holds
+// the left ops followed by post's packet-filter prefix, so indices past the
+// left pipeline belong to the post segment.
+func (e *Engine) flushOpCounts(rq *runningQuery) {
+	p := rq.fr
+	left := rq.left
+	if rq.packetLeft {
+		left = rq.prePacket
+	}
+	nLeft := len(rq.q.Left.Ops)
+	for i := range left.ops {
+		stage := i
+		if i >= nLeft {
+			stage = p.PostBase() + (i - nLeft)
+		}
+		p.OpSP(stage, left.inCounts[i], left.outCounts[i])
+	}
+	left.resetCounts()
+	if rq.right != nil {
+		for j := range rq.right.ops {
+			p.OpSP(p.RightBase()+j, rq.right.inCounts[j], rq.right.outCounts[j])
+		}
+		rq.right.resetCounts()
+		for j := range rq.post.ops {
+			p.OpSP(p.PostBase()+j, rq.post.inCounts[j], rq.post.outCounts[j])
+		}
+		rq.post.resetCounts()
+	}
 }
 
 // endJoin performs the window-end join and post pipeline for one instance,

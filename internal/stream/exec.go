@@ -88,6 +88,10 @@ type pipeExec struct {
 	// outCounts[i] counts emissions of op i this window (used by the
 	// profiler to estimate the paper's N_{q,t}).
 	outCounts []uint64
+	// inCounts[i] counts tuples (or packets, or merged aggregates) entering
+	// op i — the flight recorder's per-stage load signal. Reset together
+	// with outCounts.
+	inCounts []uint64
 	// outputs collects tuples that fell off the end of the pipeline.
 	outputs [][]tuple.Value
 	// keyScratch avoids re-allocating key buffers on the hot path.
@@ -103,7 +107,8 @@ type pipeExec struct {
 
 func newPipeExec(ops []query.Op, start int, dyn *DynTables) *pipeExec {
 	e := &pipeExec{ops: ops, start: start, dyn: dyn,
-		states: make([]*opState, len(ops)), outCounts: make([]uint64, len(ops)+1)}
+		states: make([]*opState, len(ops)), outCounts: make([]uint64, len(ops)+1),
+		inCounts: make([]uint64, len(ops))}
 	// State exists for every stateful op, including those before the
 	// partition point: register dumps from the switch merge into the state
 	// of an op that nominally ran on the switch (see mergeAgg).
@@ -120,6 +125,7 @@ func newPipeExec(ops []query.Op, start int, dyn *DynTables) *pipeExec {
 // ingestTuple. Returns false if the packet was dropped by a filter.
 func (e *pipeExec) ingestPacket(at int, pkt *packet.Packet) {
 	for i := at; i < len(e.ops); i++ {
+		e.inCounts[i]++
 		o := &e.ops[i]
 		if !o.PacketPhase() {
 			panic(fmt.Sprintf("stream: op %d (%v) is tuple-phase but received a packet", i, o.Kind))
@@ -177,6 +183,7 @@ func DynKeyFromValue(f fields.ID, v tuple.Value, level int) string {
 // the first stateful op (which absorbs it into window state).
 func (e *pipeExec) ingestTuple(at int, vals []tuple.Value) {
 	for i := at; i < len(e.ops); i++ {
+		e.inCounts[i]++
 		o := &e.ops[i]
 		switch o.Kind {
 		case query.OpFilter:
@@ -228,6 +235,7 @@ func (e *pipeExec) ingestTuple(at int, vals []tuple.Value) {
 // the stateful op at index at, using the op's own aggregation function so
 // switch-side and overflow-side contributions combine correctly.
 func (e *pipeExec) mergeAgg(at int, keyVals []tuple.Value, agg uint64) {
+	e.inCounts[at]++
 	o := &e.ops[at]
 	if !o.Stateful() {
 		panic(fmt.Sprintf("stream: mergeAgg into stateless op %v", o.Kind))
@@ -280,11 +288,14 @@ func (e *pipeExec) endWindow() [][]tuple.Value {
 	return outs
 }
 
-// resetCounts zeroes the per-op emission counters (profiling granularity is
-// one window).
+// resetCounts zeroes the per-op counters (profiling and flight-recorder
+// granularity is one window).
 func (e *pipeExec) resetCounts() {
 	for i := range e.outCounts {
 		e.outCounts[i] = 0
+	}
+	for i := range e.inCounts {
+		e.inCounts[i] = 0
 	}
 }
 

@@ -50,12 +50,13 @@ func writeHistogram(w io.Writer, m *metric) {
 	fmt.Fprintf(w, "%s_count%s %d\n", m.family, m.labels, m.h.Count())
 }
 
-// mergeLabel appends one label to an already-rendered label set.
+// mergeLabel appends one label to an already-rendered label set, using the
+// same text-format escaping as renderLabels.
 func mergeLabel(rendered, k, v string) string {
 	if rendered == "" {
-		return fmt.Sprintf("{%s=%q}", k, v)
+		return fmt.Sprintf(`{%s="%s"}`, k, escapeLabelValue(v))
 	}
-	return fmt.Sprintf("%s,%s=%q}", rendered[:len(rendered)-1], k, v)
+	return fmt.Sprintf(`%s,%s="%s"}`, rendered[:len(rendered)-1], k, escapeLabelValue(v))
 }
 
 // Handler serves the registry as Prometheus text format.
@@ -109,11 +110,17 @@ func NewDebugMux(r *Registry) *http.ServeMux {
 // is available via the returned listener address, which matters when addr
 // uses port 0.
 func ServeDebug(addr string, r *Registry) (*http.Server, net.Addr, error) {
+	return ServeDebugMux(addr, NewDebugMux(r))
+}
+
+// ServeDebugMux is ServeDebug for a caller-assembled mux — start from
+// NewDebugMux, mount extra handlers (e.g. /debug/queries), then serve.
+func ServeDebugMux(addr string, mux *http.ServeMux) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("telemetry: listening on %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewDebugMux(r)}
+	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return srv, ln.Addr(), nil
 }

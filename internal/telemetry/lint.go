@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// unitSuffixes are the unit tails a histogram family must carry so the
+// series name states what its sum/buckets measure.
+var unitSuffixes = []string{"_ns", "_bytes", "_seconds"}
+
+// Lint checks every registered family against the project's metric naming
+// rules and returns one message per violation (empty for a clean registry):
+//
+//   - every family carries the sonata_ prefix;
+//   - counters end in _total, and nothing else does;
+//   - histograms end in a unit suffix (_ns, _bytes, _seconds);
+//   - every family has non-empty HELP text;
+//   - no two families share the same HELP text (a duplicate almost always
+//     means a copy-pasted registration describing the wrong series).
+//
+// Labeled series of one family are checked once. `make check-metrics` runs
+// Lint over a full deployment's registry.
+func (r *Registry) Lint() []string {
+	var problems []string
+	seen := make(map[string]bool)
+	helpOf := make(map[string]string)
+	r.each(func(m *metric) {
+		if seen[m.family] {
+			return
+		}
+		seen[m.family] = true
+		if !strings.HasPrefix(m.family, "sonata_") {
+			problems = append(problems,
+				fmt.Sprintf("%s: missing sonata_ prefix", m.family))
+		}
+		if m.help == "" {
+			problems = append(problems,
+				fmt.Sprintf("%s: empty HELP text", m.family))
+		} else if prev, dup := helpOf[m.help]; dup {
+			problems = append(problems,
+				fmt.Sprintf("%s: HELP text duplicates %s", m.family, prev))
+		} else {
+			helpOf[m.help] = m.family
+		}
+		switch m.kind {
+		case kindCounter:
+			if !strings.HasSuffix(m.family, "_total") {
+				problems = append(problems,
+					fmt.Sprintf("%s: counter must end in _total", m.family))
+			}
+		case kindGauge:
+			if strings.HasSuffix(m.family, "_total") {
+				problems = append(problems,
+					fmt.Sprintf("%s: gauge must not end in _total", m.family))
+			}
+		case kindHistogram:
+			unit := false
+			for _, s := range unitSuffixes {
+				if strings.HasSuffix(m.family, s) {
+					unit = true
+					break
+				}
+			}
+			if !unit {
+				problems = append(problems,
+					fmt.Sprintf("%s: histogram needs a unit suffix (%s)",
+						m.family, strings.Join(unitSuffixes, ", ")))
+			}
+		}
+	})
+	return problems
+}

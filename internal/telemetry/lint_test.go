@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLabelEscapingGolden pins the text-format output for label values that
+// need escaping. The exposition format defines exactly three escapes inside
+// quoted label values — backslash, double-quote, and line feed — while tabs
+// and non-ASCII runes pass through verbatim (the format is plain UTF-8).
+func TestLabelEscapingGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sonata_hostile_total", "hostile label values",
+		"path", `C:\temp\new`,
+		"msg", "line1\nline2",
+		"note", "tab\there \"quoted\" λ≤9").Add(1)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+
+	// Labels sorted by key: msg, note, path. Tab and λ≤9 are verbatim.
+	want := `sonata_hostile_total{msg="line1\nline2",note="tab` + "\t" +
+		`here \"quoted\" λ≤9",path="C:\\temp\\new"} 1` + "\n"
+	if got := b.String(); !strings.Contains(got, want) {
+		t.Errorf("escaped series line missing\n--- want line ---\n%s--- got ---\n%s", want, got)
+	}
+	if !strings.Contains(b.String(), "tab\there") {
+		t.Errorf("tab byte was escaped instead of passed through:\n%s", b.String())
+	}
+}
+
+// TestLabelEscapingHistogram checks the le-label merge path escapes the
+// existing label's value exactly once (no double escaping).
+func TestLabelEscapingHistogram(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("sonata_probe_ns", "probe latency", []uint64{10},
+		"target", `rack"7\a`).Observe(5)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	for _, line := range []string{
+		`sonata_probe_ns_bucket{target="rack\"7\\a",le="10"} 1`,
+		`sonata_probe_ns_sum{target="rack\"7\\a"} 5`,
+	} {
+		if !strings.Contains(b.String(), line+"\n") {
+			t.Errorf("output missing %q\ngot:\n%s", line, b.String())
+		}
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`a\b`, `a\\b`},
+		{`say "hi"`, `say \"hi\"`},
+		{"two\nlines", `two\nlines`},
+		{"tab\tstays", "tab\tstays"},
+		{"λ≤9 — ok", "λ≤9 — ok"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := escapeLabelValue(c.in); got != c.want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// lintProblems registers the given setup and returns Lint's messages.
+func lintProblems(setup func(*Registry)) []string {
+	reg := NewRegistry()
+	setup(reg)
+	return reg.Lint()
+}
+
+func wantProblem(t *testing.T, problems []string, substr string) {
+	t.Helper()
+	for _, p := range problems {
+		if strings.Contains(p, substr) {
+			return
+		}
+	}
+	t.Errorf("lint problems %q missing %q", problems, substr)
+}
+
+func TestLintRules(t *testing.T) {
+	wantProblem(t, lintProblems(func(r *Registry) {
+		r.Counter("frames_total", "frames")
+	}), "missing sonata_ prefix")
+
+	wantProblem(t, lintProblems(func(r *Registry) {
+		r.Counter("sonata_frames", "frames")
+	}), "counter must end in _total")
+
+	wantProblem(t, lintProblems(func(r *Registry) {
+		r.Gauge("sonata_depth_total", "depth")
+	}), "gauge must not end in _total")
+
+	wantProblem(t, lintProblems(func(r *Registry) {
+		r.Histogram("sonata_window_duration", "duration", []uint64{1})
+	}), "histogram needs a unit suffix")
+
+	wantProblem(t, lintProblems(func(r *Registry) {
+		r.Counter("sonata_frames_total", "")
+	}), "empty HELP")
+
+	wantProblem(t, lintProblems(func(r *Registry) {
+		r.Counter("sonata_frames_total", "things counted")
+		r.Counter("sonata_tuples_total", "things counted")
+	}), "HELP text duplicates")
+}
+
+// TestLintClean: a registry following every rule — including a labeled
+// family registered twice, which must be checked once — lints clean.
+func TestLintClean(t *testing.T) {
+	problems := lintProblems(func(r *Registry) {
+		r.Counter("sonata_frames_total", "frames seen")
+		r.Counter("sonata_tuples_total", "tuples per query", "qid", "1")
+		r.Counter("sonata_tuples_total", "tuples per query", "qid", "2")
+		r.Gauge("sonata_register_entries_used", "register occupancy")
+		r.Histogram("sonata_window_ns", "window duration", []uint64{1000})
+		r.Histogram("sonata_frame_bytes", "frame size", []uint64{64})
+	})
+	if len(problems) != 0 {
+		t.Errorf("clean registry linted dirty: %q", problems)
+	}
+}
+
+// TestCounterSumEdges pins CounterSum's prefix semantics at the edges: the
+// empty prefix totals every counter series, and a prefix equal to a full
+// series name matches that series (plus any longer names it prefixes).
+func TestCounterSumEdges(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sonata_a_total", "a").Add(3)
+	reg.Counter("sonata_ab_total", "ab").Add(5)
+	reg.Counter("sonata_b_total", "b", "qid", "1").Add(7)
+	reg.Counter("sonata_b_total", "b", "qid", "2").Add(11)
+	s := reg.Snapshot()
+
+	if got := s.CounterSum(""); got != 26 {
+		t.Errorf("CounterSum(\"\") = %d, want 26 (every counter)", got)
+	}
+	// "sonata_a_total" is both a complete unlabeled series name and a
+	// prefix of "sonata_ab_total"'s family? It is not — prefix matching is
+	// on the full series string, and "sonata_ab_total" does not start with
+	// "sonata_a_total". Only the exact series matches.
+	if got := s.CounterSum("sonata_a_total"); got != 3 {
+		t.Errorf("CounterSum(full name) = %d, want 3", got)
+	}
+	// Family prefix of a labeled family sums its instances.
+	if got := s.CounterSum("sonata_b_total"); got != 18 {
+		t.Errorf("CounterSum(labeled family) = %d, want 18", got)
+	}
+	// A shared prefix crosses family boundaries by design.
+	if got := s.CounterSum("sonata_a"); got != 8 {
+		t.Errorf("CounterSum(\"sonata_a\") = %d, want 8", got)
+	}
+	if got := s.CounterSum("no_such"); got != 0 {
+		t.Errorf("CounterSum(miss) = %d, want 0", got)
+	}
+}

@@ -17,6 +17,11 @@ const (
 	StageFilterUpdate  = "filter_update"  // dynamic-refinement table writes
 )
 
+// StageFlightRecEvict is recorded (outside the per-window lifecycle above)
+// when the flight recorder's ring overwrites a window no snapshot ever
+// served — the signal that the recorder is underprovisioned.
+const StageFlightRecEvict = "flightrec_evict"
+
 // Span is one timed stage of one window's lifecycle. It serializes to a
 // single JSONL line and round-trips through encoding/json.
 type Span struct {
