@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke check-metrics
+.PHONY: check fmt vet build test race bench bench-alloc bench-smoke check-metrics
 
-check: fmt vet build test race check-metrics
+check: fmt vet build test race check-metrics bench-alloc
 	-@$(MAKE) --no-print-directory bench-smoke
 
 fmt:
@@ -31,6 +31,15 @@ bench:
 # family (sonata_ prefix, counter/gauge/histogram suffix rules, HELP text).
 check-metrics:
 	$(GO) test -run 'TestMetricsLint|TestLint' ./internal/runtime ./internal/telemetry
+
+# Gating allocation budget: TestAllocBudget pins each hot path's allocs/op
+# against alloc_budget.json (all zeros since the arena-backed state rewrite);
+# the -benchmem run prints the same paths' current numbers for the log.
+# Allocation counts are deterministic, so unlike bench-smoke this gate is not
+# subject to perf noise and does fail `make check`.
+bench-alloc:
+	$(GO) test -run TestAllocBudget -benchtime 100x -benchmem \
+		-bench 'BenchmarkSwitchProcess$$|BenchmarkEmitterRoundTrip$$|BenchmarkKeytabSteadyState$$' .
 
 # Quick perf regression probe: the four hot-path benchmarks, sequential vs
 # sharded, at a fixed iteration count. Non-gating in `make check` (perf noise

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/emitter"
+	"repro/internal/fields"
+	"repro/internal/keytab"
+	"repro/internal/packet"
+	"repro/internal/pisa"
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/tuple"
+)
+
+// TestAllocBudget is the gating side of `make bench-alloc`: each hot path
+// runs under testing.AllocsPerRun and must not exceed the budget checked in
+// as alloc_budget.json. The budgets are all zero — the tentpole claim of the
+// arena-backed state rewrite — and tightening or relaxing one is a reviewed
+// change to the JSON file, not a silent drift.
+func TestAllocBudget(t *testing.T) {
+	raw, err := os.ReadFile("alloc_budget.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := make(map[string]float64)
+	if err := json.Unmarshal(raw, &budgets); err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, fn func()) {
+		t.Helper()
+		budget, ok := budgets[name]
+		if !ok {
+			t.Fatalf("alloc_budget.json has no budget for %q", name)
+		}
+		if allocs := testing.AllocsPerRun(200, fn); allocs > budget {
+			t.Errorf("%s: %.1f allocs/op exceeds budget of %.0f", name, allocs, budget)
+		}
+	}
+
+	// Data plane: one packet through a compiled query instance whose key is
+	// already stored (same frame every iteration).
+	sw := allocBudgetSwitch(t)
+	frame := packet.BuildFrame(nil, &packet.FrameSpec{
+		SrcIP: 1, DstIP: 2, Proto: 6, DstPort: 80,
+		TCPFlags: fields.FlagSYN, Pad: 256})
+	sw.Process(frame) // warm: first touch appends to the bank's arena
+	check("SwitchProcess", func() { sw.Process(frame) })
+
+	// Monitoring port: encode + decode of a mirror record through reused
+	// buffers.
+	m := pisa.Mirror{QID: 1, Level: 32, EntryOp: 2,
+		Vals: []tuple.Value{tuple.U64(0xC0A80101), tuple.U64(1)}}
+	var buf []byte
+	var dec emitter.MirrorDecoder
+	var out pisa.Mirror
+	buf = emitter.EncodeMirror(buf[:0], &m)
+	if err := dec.Decode(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	check("EmitterRoundTrip", func() {
+		buf = emitter.EncodeMirror(buf[:0], &m)
+		if err := dec.Decode(buf, &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Keyed state: GetOrInsert hit on a populated table.
+	tab := keytab.New()
+	vals := []tuple.Value{tuple.U64(7)}
+	key := tuple.AppendKey(nil, vals, []int{0})
+	tab.GetOrInsert(key, vals, []int{0}, 1)
+	check("KeytabSteadyState", func() {
+		idx, existed := tab.GetOrInsert(key, vals, []int{0}, 1)
+		if !existed {
+			t.Fatal("warm key missing")
+		}
+		tab.SetAgg(idx, tab.Agg(idx)+1)
+	})
+
+	// Stream processor: tuple ingest folding into an existing reduce key.
+	eng := allocBudgetEngine(t)
+	tvals := []tuple.Value{tuple.U64(42), tuple.U64(1)}
+	eng.IngestTuple(1, 0, stream.SideLeft, tvals)
+	check("EngineReduceHit", func() { eng.IngestTuple(1, 0, stream.SideLeft, tvals) })
+}
+
+func allocBudgetQuery() *query.Query {
+	q := query.NewBuilder("q1", 3*time.Second).
+		Filter(query.Eq(fields.TCPFlags, fields.FlagSYN)).
+		Map(query.F(fields.DstIP), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.DstIP).
+		Filter(query.Gt(fields.AggVal, 40)).
+		MustBuild()
+	q.ID = 1
+	return q
+}
+
+func allocBudgetSwitch(t testing.TB) *pisa.Switch {
+	q := allocBudgetQuery()
+	pipe := compile.CompilePipeline(q.Left.Ops)
+	spec := &pisa.InstanceSpec{QID: 1, Ops: q.Left.Ops, Tables: pipe.Tables,
+		CutAt: len(pipe.Tables), StageOf: []int{0, 1, 2, 3},
+		RegEntries: []int{0, 0, 0, 1 << 14}}
+	sw, err := pisa.NewSwitch(pisa.DefaultConfig(),
+		&pisa.Program{Instances: []*pisa.InstanceSpec{spec}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func allocBudgetEngine(t testing.TB) *stream.Engine {
+	eng := stream.NewEngine(nil)
+	if err := eng.Install(allocBudgetQuery(), 0, stream.Partition{LeftStart: 2}); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkKeytabSteadyState measures the per-tuple cost of the arena-backed
+// table once every key exists: encode the grouping key into scratch, probe,
+// fold the aggregate. This is the inner loop every stateful operator (and,
+// via keytab.Store, every register bank) now runs.
+func BenchmarkKeytabSteadyState(b *testing.B) {
+	tab := keytab.New()
+	const keys = 1024
+	vals := make([][]tuple.Value, keys)
+	var scratch []byte
+	for i := range vals {
+		vals[i] = []tuple.Value{tuple.U64(uint64(i)), tuple.U64(1)}
+		scratch = tuple.AppendKey(scratch[:0], vals[i], []int{0})
+		tab.GetOrInsert(scratch, vals[i], []int{0}, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := vals[i&(keys-1)]
+		scratch = tuple.AppendKey(scratch[:0], v, []int{0})
+		idx, existed := tab.GetOrInsert(scratch, v, []int{0}, v[1].U)
+		if existed {
+			tab.SetAgg(idx, tab.Agg(idx)+v[1].U)
+		}
+	}
+}

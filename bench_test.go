@@ -357,24 +357,26 @@ func BenchmarkEmitterRoundTrip(b *testing.B) {
 	m := pisa.Mirror{QID: 1, Level: 32, EntryOp: 2,
 		Vals: []tuple.Value{tuple.U64(0xC0A80101), tuple.U64(1)}}
 	var buf []byte
+	var dec emitter.MirrorDecoder
+	var out pisa.Mirror
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		buf = emitter.EncodeMirror(buf[:0], &m)
-		if _, err := emitter.DecodeMirror(buf); err != nil {
+		if err := dec.Decode(buf, &out); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.StopTimer()
-	// Steady-state allocation bound: with the encode buffer reused, the
-	// decoded value slice is the round trip's only allocation.
+	// Steady-state allocation bound: the encode buffer and the decoder's
+	// value buffer are both reused, so the round trip is allocation-free.
 	allocs := testing.AllocsPerRun(100, func() {
 		buf = emitter.EncodeMirror(buf[:0], &m)
-		if _, err := emitter.DecodeMirror(buf); err != nil {
+		if err := dec.Decode(buf, &out); err != nil {
 			b.Fatal(err)
 		}
 	})
-	if allocs > 1 {
-		b.Fatalf("round trip allocates %.1f per op, want <= 1 (decode value slice)", allocs)
+	if allocs != 0 {
+		b.Fatalf("round trip allocates %.1f per op, want 0", allocs)
 	}
 }
 

@@ -63,11 +63,33 @@ func EncodeMirror(dst []byte, m *pisa.Mirror) []byte {
 }
 
 // DecodeMirror parses a telemetry frame back into a mirror record. The
-// returned record's Packet aliases data.
+// returned record's Packet aliases data. The decoded value slice is freshly
+// allocated; the hot path (HandleMirror) uses MirrorDecoder instead, which
+// reuses one.
 func DecodeMirror(data []byte) (pisa.Mirror, error) {
+	var d MirrorDecoder
 	var m pisa.Mirror
+	err := d.Decode(data, &m)
+	return m, err
+}
+
+// MirrorDecoder decodes telemetry frames into caller-held Mirror records,
+// reusing one internal value buffer across calls so a steady-state decode
+// of numeric tuples performs no allocation.
+type MirrorDecoder struct {
+	vals []tuple.Value
+}
+
+// Decode parses a telemetry frame into m, overwriting every field. The
+// decoded record's Packet aliases data and its Vals alias the decoder's
+// internal buffer: both are valid only until the next Decode call, so
+// consumers must finish with (or copy from) m before decoding another
+// frame — the contract the stream engine's ingest paths already satisfy by
+// copying any state they retain.
+func (d *MirrorDecoder) Decode(data []byte, m *pisa.Mirror) error {
+	*m = pisa.Mirror{}
 	if len(data) < 8 || data[0] != magic {
-		return m, fmt.Errorf("emitter: bad telemetry frame header")
+		return fmt.Errorf("emitter: bad telemetry frame header")
 	}
 	m.QID = binary.BigEndian.Uint16(data[1:3])
 	m.Level = data[3]
@@ -80,31 +102,32 @@ func DecodeMirror(data []byte) (pisa.Mirror, error) {
 	var err error
 	if flags&flagVals != 0 {
 		if len(rest) < 1 {
-			return m, fmt.Errorf("emitter: truncated tuple count")
+			return fmt.Errorf("emitter: truncated tuple count")
 		}
 		n := int(rest[0])
 		rest = rest[1:]
-		m.Vals, rest, err = decodeVals(rest, n)
+		d.vals, rest, err = decodeVals(d.vals[:0], rest, n)
 		if err != nil {
-			return m, err
+			return err
 		}
+		m.Vals = d.vals
 	}
 	if flags&flagPacket != 0 {
 		if len(rest) < 2 {
-			return m, fmt.Errorf("emitter: truncated packet length")
+			return fmt.Errorf("emitter: truncated packet length")
 		}
 		n := int(binary.BigEndian.Uint16(rest[:2]))
 		rest = rest[2:]
 		if len(rest) < n {
-			return m, fmt.Errorf("emitter: truncated packet body (%d < %d)", len(rest), n)
+			return fmt.Errorf("emitter: truncated packet body (%d < %d)", len(rest), n)
 		}
 		m.Packet = rest[:n]
 		rest = rest[n:]
 	}
 	if len(rest) != 0 {
-		return m, fmt.Errorf("emitter: %d trailing bytes", len(rest))
+		return fmt.Errorf("emitter: %d trailing bytes", len(rest))
 	}
-	return m, nil
+	return nil
 }
 
 func appendVals(dst []byte, vals []tuple.Value) []byte {
@@ -121,8 +144,10 @@ func appendVals(dst []byte, vals []tuple.Value) []byte {
 	return dst
 }
 
-func decodeVals(data []byte, n int) ([]tuple.Value, []byte, error) {
-	vals := make([]tuple.Value, 0, n)
+// decodeVals appends n decoded values to dst (reusing its capacity) and
+// returns the extended slice plus the remaining bytes.
+func decodeVals(dst []tuple.Value, data []byte, n int) ([]tuple.Value, []byte, error) {
+	vals := dst
 	for i := 0; i < n; i++ {
 		if len(data) < 1 {
 			return nil, nil, fmt.Errorf("emitter: truncated value %d", i)
@@ -156,6 +181,10 @@ type Emitter struct {
 	engine *stream.Engine
 	parser *packet.Parser
 	pkt    packet.Packet
+	// dec/decoded are the frame-decode scratch: the engine copies anything
+	// it retains, so one record and one value buffer serve every frame.
+	dec     MirrorDecoder
+	decoded pisa.Mirror
 	// Stats for the window.
 	frames   uint64
 	badFrame uint64
@@ -238,13 +267,12 @@ func (e *Emitter) HandleMirror(m pisa.Mirror) {
 	if e.frLookup != nil {
 		e.frProbe(m.QID, m.Level).Bytes(uint64(len(buf)))
 	}
-	dec, err := DecodeMirror(buf)
-	if err == nil {
+	if err := e.dec.Decode(buf, &e.decoded); err == nil {
 		// The parsed view rides beside the wire format, not in it: the
 		// monitoring port carries bytes, but within one process the decoded
 		// record can reuse the switch's parse instead of re-decoding.
-		dec.Parsed = m.Parsed
-		e.Deliver(&dec)
+		e.decoded.Parsed = m.Parsed
+		e.Deliver(&e.decoded)
 	} else {
 		e.badFrame++
 		e.m.malformed.Inc()

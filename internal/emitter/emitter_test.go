@@ -65,6 +65,52 @@ func TestMirrorRoundTripProperty(t *testing.T) {
 	}
 }
 
+// TestMirrorDecoderReuse checks the scratch-buffer contract: successive
+// Decode calls overwrite every field (no bleed-through of Vals/Packet from a
+// richer previous frame) while reusing the value buffer.
+func TestMirrorDecoderReuse(t *testing.T) {
+	var d MirrorDecoder
+	var got pisa.Mirror
+	frames := []pisa.Mirror{
+		{QID: 1, Level: 32, EntryOp: 2, Vals: []tuple.Value{tuple.U64(1), tuple.Str("abc"), tuple.U64(2)}},
+		{QID: 2, Overflow: true, MergeOp: 3, Vals: []tuple.Value{tuple.Str("")}},
+		{QID: 3, Packet: []byte{7, 8, 9}}, // no vals: Vals must reset to nil
+		{QID: 4, Vals: []tuple.Value{tuple.U64(9)}},
+	}
+	var buf []byte
+	for i, m := range frames {
+		buf = EncodeMirror(buf[:0], &m)
+		if err := d.Decode(buf, &got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.QID != m.QID || got.Overflow != m.Overflow || got.MergeOp != m.MergeOp {
+			t.Fatalf("frame %d: header = %+v", i, got)
+		}
+		if len(got.Vals) != len(m.Vals) {
+			t.Fatalf("frame %d: %d vals, want %d", i, len(got.Vals), len(m.Vals))
+		}
+		for j := range m.Vals {
+			if !got.Vals[j].Equal(m.Vals[j]) {
+				t.Fatalf("frame %d val %d: %v != %v", i, j, got.Vals[j], m.Vals[j])
+			}
+		}
+		if string(got.Packet) != string(m.Packet) {
+			t.Fatalf("frame %d: packet %v != %v", i, got.Packet, m.Packet)
+		}
+	}
+	// Numeric-only frames decode with zero allocations once the buffer has
+	// grown (the last emitter hot-path allocation, fixed this PR).
+	buf = EncodeMirror(buf[:0], &frames[3])
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := d.Decode(buf, &got); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state decode allocates %.1f/op, want 0", allocs)
+	}
+}
+
 func TestDecodeMirrorRejectsMalformed(t *testing.T) {
 	m := pisa.Mirror{QID: 1, Vals: []tuple.Value{tuple.U64(5)}, Packet: []byte{9, 9}}
 	wire := EncodeMirror(nil, &m)

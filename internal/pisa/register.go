@@ -3,18 +3,20 @@ package pisa
 import (
 	"bytes"
 
+	"repro/internal/keytab"
 	"repro/internal/query"
 	"repro/internal/tuple"
 )
 
-// regSlot is one register entry. PISA registers are value arrays; Sonata
+// bankSlot is one register entry. PISA registers are value arrays; Sonata
 // stores the key alongside the value to detect hash collisions
-// (Section 3.1.3). Keys are byte slices so the per-packet probe path never
-// allocates.
-type regSlot struct {
-	occupied bool
-	key      []byte
-	val      uint64
+// (Section 3.1.3). The slot holds only an epoch stamp and an index into the
+// bank's flat key store: key bytes live in one arena and the decoded key
+// columns in parallel slices, so the per-packet probe path never allocates
+// and the per-window reset never frees.
+type bankSlot struct {
+	epoch uint32
+	idx   int32
 }
 
 // RegisterBank models the sequence of d hash-indexed registers backing one
@@ -24,14 +26,16 @@ type regSlot struct {
 // packet must be shunted to the stream processor.
 type RegisterBank struct {
 	entries int
-	chains  [][]regSlot
+	chains  [][]bankSlot
 	seeds   []uint64
-	// keyVals remembers decoded key columns for the end-of-window dump.
-	keyVals map[string][]tuple.Value
+	// store holds each stored key's bytes, decoded key columns, and running
+	// aggregate in insertion order — the flat side table the end-of-window
+	// dump walks.
+	store keytab.Store
+	// epoch stamps live slots; Reset bumps it, emptying every chain in O(1).
+	epoch uint32
 	// collisions counts failed updates this window.
 	collisions uint64
-	// stored counts keys currently held.
-	stored int
 }
 
 // NewRegisterBank allocates d chains of n slots each.
@@ -39,10 +43,10 @@ func NewRegisterBank(n, d int) *RegisterBank {
 	if n <= 0 || d <= 0 {
 		panic("pisa: register bank must have positive entries and chains")
 	}
-	b := &RegisterBank{entries: n, chains: make([][]regSlot, d), seeds: make([]uint64, d),
-		keyVals: make(map[string][]tuple.Value)}
+	b := &RegisterBank{entries: n, chains: make([][]bankSlot, d), seeds: make([]uint64, d),
+		epoch: 1}
 	for i := range b.chains {
-		b.chains[i] = make([]regSlot, n)
+		b.chains[i] = make([]bankSlot, n)
 		// Distinct deterministic seeds per chain.
 		b.seeds[i] = 0x9E3779B97F4A7C15 * uint64(i+1)
 	}
@@ -67,23 +71,17 @@ func (b *RegisterBank) Update(key []byte, vals []tuple.Value, keyIdx []int, v ui
 	for c := range b.chains {
 		idx := fnv1a(b.seeds[c], key) % uint64(b.entries)
 		slot := &b.chains[c][idx]
-		if !slot.occupied {
-			slot.occupied = true
-			slot.key = append([]byte(nil), key...)
-			slot.val = v
-			b.stored++
-			// Key columns are materialized only on first insert, keeping the
-			// per-packet probe path allocation-free.
-			kv := make([]tuple.Value, len(keyIdx))
-			for i, j := range keyIdx {
-				kv[i] = vals[j]
-			}
-			b.keyVals[string(key)] = kv
+		if slot.epoch != b.epoch {
+			// Key bytes and columns are copied into the flat store only on
+			// first insert, keeping the steady-state probe allocation-free.
+			slot.idx = int32(b.store.Append(key, vals, keyIdx, v))
+			slot.epoch = b.epoch
 			return v, true, true
 		}
-		if bytes.Equal(slot.key, key) {
-			slot.val = fn.Apply(slot.val, v)
-			return slot.val, false, true
+		if bytes.Equal(b.store.Key(int(slot.idx)), key) {
+			nv := fn.Apply(b.store.Agg(int(slot.idx)), v)
+			b.store.SetAgg(int(slot.idx), nv)
+			return nv, false, true
 		}
 	}
 	b.collisions++
@@ -95,45 +93,49 @@ func (b *RegisterBank) Lookup(key []byte) (uint64, bool) {
 	for c := range b.chains {
 		idx := fnv1a(b.seeds[c], key) % uint64(b.entries)
 		slot := &b.chains[c][idx]
-		if slot.occupied && bytes.Equal(slot.key, key) {
-			return slot.val, true
+		if slot.epoch == b.epoch && bytes.Equal(b.store.Key(int(slot.idx)), key) {
+			return b.store.Agg(int(slot.idx)), true
 		}
 	}
 	return 0, false
 }
 
 // Dump returns every stored (key columns, value) pair — the end-of-window
-// register poll.
+// register poll — in key insertion order (deterministic, unlike the map
+// iteration it replaces). The returned KeyVals alias the bank's storage:
+// they stay valid through Reset but are overwritten once the next window's
+// first keys arrive, so callers consume or copy them before feeding new
+// traffic — exactly the runtime's window-close sequence.
 func (b *RegisterBank) Dump() []DumpEntry {
-	out := make([]DumpEntry, 0, b.stored)
-	for c := range b.chains {
-		for i := range b.chains[c] {
-			slot := &b.chains[c][i]
-			if slot.occupied {
-				out = append(out, DumpEntry{KeyVals: b.keyVals[string(slot.key)], Val: slot.val})
-			}
-		}
+	out := make([]DumpEntry, b.store.Len())
+	for i := range out {
+		out[i] = DumpEntry{KeyVals: b.store.KeyVals(i), Val: b.store.Agg(i)}
 	}
 	return out
 }
 
 // Reset clears all slots for the next window and returns the collision
-// count of the closing window.
+// count of the closing window. The clear is an epoch bump plus slice
+// truncation: no slot memory is freed or zeroed (except once every 2^32
+// windows when the epoch wraps).
 func (b *RegisterBank) Reset() uint64 {
-	for c := range b.chains {
-		for i := range b.chains[c] {
-			b.chains[c][i] = regSlot{}
+	b.store.Reset()
+	b.epoch++
+	if b.epoch == 0 {
+		for c := range b.chains {
+			for i := range b.chains[c] {
+				b.chains[c][i] = bankSlot{}
+			}
 		}
+		b.epoch = 1
 	}
-	b.keyVals = make(map[string][]tuple.Value)
-	b.stored = 0
 	col := b.collisions
 	b.collisions = 0
 	return col
 }
 
 // Stored returns the number of keys currently held.
-func (b *RegisterBank) Stored() int { return b.stored }
+func (b *RegisterBank) Stored() int { return b.store.Len() }
 
 // Capacity returns the total slot count across all chains.
 func (b *RegisterBank) Capacity() int { return b.entries * len(b.chains) }

@@ -3,6 +3,7 @@ package pisa
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/compile"
 	"repro/internal/flightrec"
@@ -71,18 +72,26 @@ func (s *WindowStats) Merge(o WindowStats) {
 	s.DumpTuples += o.DumpTuples
 }
 
+// dynRuleSet is one immutable generation of a dynamic filter table's
+// entries; UpdateDynTable publishes a fresh set through an atomic pointer
+// (copy-on-write), so the per-packet lookup takes no lock and never sees a
+// half-written table.
+type dynRuleSet = map[string]struct{}
+
 // instState is the runtime state of one installed instance.
 type instState struct {
 	spec  *InstanceSpec
 	banks map[int]*RegisterBank // by table index
-	// dynRules holds the dynamic filter entries per table index.
-	dynRules map[int]map[string]struct{}
+	// dynRules holds the dynamic filter entry snapshot per table index
+	// (parallel to spec.Tables up to CutAt; nil until first populated).
+	dynRules []atomic.Pointer[dynRuleSet]
 	entry    compile.SPEntry
-	// valsScratch and keyScratch are per-packet buffers so the hot path
-	// does not allocate; mirrors may alias them (documented: callers must
-	// not retain Vals past the callback).
+	// valsScratch, keyScratch and dynScratch are per-packet buffers so the
+	// hot path does not allocate; mirrors may alias them (documented:
+	// callers must not retain Vals past the callback).
 	valsScratch []tuple.Value
 	keyScratch  []byte
+	dynScratch  []byte
 	// fr is the instance's flight-recorder probe (nil when detached; nil
 	// probes no-op). frStage[t] is the probe's global stage index for table
 	// t's op, or -1 when an earlier table already counted that op (stateful
@@ -160,7 +169,7 @@ func NewSwitch(cfg Config, prog *Program, mirror func(Mirror)) (*Switch, error) 
 	sw := &Switch{cfg: cfg, mirror: mirror, parser: packet.NewParser(packet.ParserOptions{})}
 	for _, spec := range prog.Instances {
 		st := &instState{spec: spec, banks: make(map[int]*RegisterBank),
-			dynRules: make(map[int]map[string]struct{})}
+			dynRules: make([]atomic.Pointer[dynRuleSet], spec.CutAt)}
 		for t := 0; t < spec.CutAt; t++ {
 			tab := &spec.Tables[t]
 			if tab.Stateful {
@@ -193,11 +202,11 @@ func (sw *Switch) UpdateDynTable(qid uint16, level uint8, side Side, opIdx int, 
 		}
 		for t := 0; t < s.CutAt; t++ {
 			if s.Tables[t].Kind == compile.TableDynFilter && s.Tables[t].OpIdx == opIdx {
-				set := make(map[string]struct{}, len(keys))
+				set := make(dynRuleSet, len(keys))
 				for _, k := range keys {
 					set[k] = struct{}{}
 				}
-				st.dynRules[t] = set
+				st.dynRules[t].Store(&set)
 				sw.tableUpdates += uint64(len(keys))
 				sw.m.dynUpdates.Add(uint64(len(keys)))
 				return len(keys), nil
@@ -331,16 +340,19 @@ func (sw *Switch) processInstance(st *instState, pkt *packetView) bool {
 				}
 			}
 		case compile.TableDynFilter:
-			rules := st.dynRules[t]
-			if len(rules) == 0 {
+			rp := st.dynRules[t].Load()
+			if rp == nil || len(*rp) == 0 {
 				return false // not yet populated: finer level idle
 			}
 			v, ok := pkt.pkt.Field(o.DynKeyField)
 			if !ok {
 				return false
 			}
-			key := stream.DynKeyFromValue(o.DynKeyField, v, o.DynLevel)
-			if _, ok := rules[key]; !ok {
+			// Build the masked key into the per-instance scratch; the map
+			// index's string conversion does not escape, so the lookup is
+			// allocation-free.
+			st.dynScratch = stream.AppendDynKey(st.dynScratch[:0], o.DynKeyField, v, o.DynLevel)
+			if _, ok := (*rp)[string(st.dynScratch)]; !ok {
 				return false
 			}
 		case compile.TableMap:

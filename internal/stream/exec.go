@@ -12,9 +12,10 @@ package stream
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/fields"
+	"repro/internal/keytab"
 	"repro/internal/packet"
 	"repro/internal/query"
 	"repro/internal/tuple"
@@ -22,57 +23,65 @@ import (
 
 // DynTables holds the dynamic-refinement filter sets, updated by the
 // runtime at window boundaries and consulted by filter operators that carry
-// a DynFilterTable tag. It is safe for concurrent use.
+// a DynFilterTable tag. Readers see copy-on-write snapshots swapped through
+// an atomic pointer, so the per-tuple Contains path takes no lock; writers
+// (Replace) must be serialized by the caller, which the runtime does by
+// updating tables only at window boundaries with the workers joined.
 type DynTables struct {
-	mu   sync.RWMutex
+	snap atomic.Pointer[dynSnapshot]
+}
+
+// dynSnapshot is one immutable generation of all tables. The inner sets are
+// never mutated after publication.
+type dynSnapshot struct {
 	sets map[string]map[string]struct{}
 }
 
 // NewDynTables returns an empty table store.
 func NewDynTables() *DynTables {
-	return &DynTables{sets: make(map[string]map[string]struct{})}
+	d := &DynTables{}
+	d.snap.Store(&dynSnapshot{sets: make(map[string]map[string]struct{})})
+	return d
 }
 
 // Replace installs the allowed key set for a table, replacing any previous
-// contents (the per-window refresh of Figure 4's red filters).
+// contents (the per-window refresh of Figure 4's red filters). It publishes
+// a new snapshot; in-flight readers keep the old one.
 func (d *DynTables) Replace(table string, keys []string) {
+	cur := d.snap.Load()
+	next := &dynSnapshot{sets: make(map[string]map[string]struct{}, len(cur.sets)+1)}
+	for name, set := range cur.sets {
+		next.sets[name] = set
+	}
 	set := make(map[string]struct{}, len(keys))
 	for _, k := range keys {
 		set[k] = struct{}{}
 	}
-	d.mu.Lock()
-	d.sets[table] = set
-	d.mu.Unlock()
+	next.sets[table] = set
+	d.snap.Store(next)
 }
 
 // Contains reports whether key is currently allowed by table. A table that
 // was never installed admits nothing: finer refinement levels stay idle
 // until the coarser level reports.
 func (d *DynTables) Contains(table, key string) bool {
-	d.mu.RLock()
-	set := d.sets[table]
+	set := d.snap.Load().sets[table]
 	_, ok := set[key]
-	d.mu.RUnlock()
+	return ok
+}
+
+// ContainsKey is the hot-path form of Contains: the key arrives as encoded
+// bytes (typically a reused scratch buffer) and the lookup allocates
+// nothing — the string conversion in the map index does not escape.
+func (d *DynTables) ContainsKey(table string, key []byte) bool {
+	set := d.snap.Load().sets[table]
+	_, ok := set[string(key)]
 	return ok
 }
 
 // Size returns the number of keys installed for a table.
 func (d *DynTables) Size(table string) int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return len(d.sets[table])
-}
-
-// opState is the per-window state of one stateful operator.
-type opState struct {
-	// agg maps encoded key -> running aggregate (reduce only).
-	agg map[string]uint64
-	// keyVals remembers the decoded key columns for rebuilding tuples.
-	keyVals map[string][]tuple.Value
-}
-
-func newOpState() *opState {
-	return &opState{agg: make(map[string]uint64), keyVals: make(map[string][]tuple.Value)}
+	return len(d.snap.Load().sets[table])
 }
 
 // pipeExec executes the suffix of one pipeline, from op index start to the
@@ -84,7 +93,12 @@ type pipeExec struct {
 	start int
 	dyn   *DynTables
 
-	states []*opState // parallel to ops; nil for stateless ops
+	// states holds each stateful op's window state (nil for stateless ops):
+	// an arena-backed table keyed by the encoded grouping key, holding the
+	// running aggregate and the decoded key columns. Tables are reset, not
+	// reallocated, at window end, so a steady-state window touches no
+	// allocator.
+	states []*keytab.Table
 	// outCounts[i] counts emissions of op i this window (used by the
 	// profiler to estimate the paper's N_{q,t}).
 	outCounts []uint64
@@ -92,10 +106,18 @@ type pipeExec struct {
 	// op i — the flight recorder's per-stage load signal. Reset together
 	// with outCounts.
 	inCounts []uint64
-	// outputs collects tuples that fell off the end of the pipeline.
+	// outputs collects tuples that fell off the end of the pipeline. Each is
+	// an owned copy: inputs may live in caller scratch (the emitter's decode
+	// buffer) and flush-path tuples alias keytab storage, neither of which
+	// survives the window.
 	outputs [][]tuple.Value
 	// keyScratch avoids re-allocating key buffers on the hot path.
 	keyScratch []byte
+	// dynKeyScratch/dynValScratch back the dynamic-filter key build; separate
+	// from keyScratch because a tuple can pass a dyn filter and then reach a
+	// stateful op in the same walk.
+	dynKeyScratch []byte
+	dynValScratch []tuple.Value
 	// inputCount tracks packets fed this window (profiling only).
 	inputCount uint64
 	// lastKeys[i] is the key count of stateful op i at the moment the last
@@ -107,14 +129,14 @@ type pipeExec struct {
 
 func newPipeExec(ops []query.Op, start int, dyn *DynTables) *pipeExec {
 	e := &pipeExec{ops: ops, start: start, dyn: dyn,
-		states: make([]*opState, len(ops)), outCounts: make([]uint64, len(ops)+1),
+		states: make([]*keytab.Table, len(ops)), outCounts: make([]uint64, len(ops)+1),
 		inCounts: make([]uint64, len(ops))}
 	// State exists for every stateful op, including those before the
 	// partition point: register dumps from the switch merge into the state
 	// of an op that nominally ran on the switch (see mergeAgg).
 	for i := range ops {
 		if ops[i].Stateful() {
-			e.states[i] = newOpState()
+			e.states[i] = keytab.New()
 		}
 	}
 	return e
@@ -137,8 +159,8 @@ func (e *pipeExec) ingestPacket(at int, pkt *packet.Packet) {
 				if !ok {
 					return
 				}
-				key := DynKeyFromValue(o.DynKeyField, v, o.DynLevel)
-				if !e.dyn.Contains(o.DynFilterTable, key) {
+				e.dynKeyScratch = AppendDynKey(e.dynKeyScratch[:0], o.DynKeyField, v, o.DynLevel)
+				if !e.dyn.ContainsKey(o.DynFilterTable, e.dynKeyScratch) {
 					return
 				}
 			} else {
@@ -171,12 +193,19 @@ func (e *pipeExec) ingestPacket(at int, pkt *packet.Packet) {
 	e.outCounts[len(e.ops)]++
 }
 
+// AppendDynKey appends the dynamic-filter lookup key for a single value
+// masked to the filter's level, reusing dst's storage. The control path that
+// installs table keys uses DynKeyFromValue (same encoding), so lookups
+// always agree.
+func AppendDynKey(dst []byte, f fields.ID, v tuple.Value, level int) []byte {
+	return tuple.AppendKeyValue(dst, query.MaskValue(f, v, level))
+}
+
 // DynKeyFromValue builds the dynamic-filter lookup key for a single value
-// masked to the filter's level. The runtime uses the same function when it
-// installs the keys reported by the coarser level, so lookups always agree.
+// masked to the filter's level — the allocating form used on the install
+// side (runtime, planner training) where keys are retained.
 func DynKeyFromValue(f fields.ID, v tuple.Value, level int) string {
-	masked := query.MaskValue(f, v, level)
-	return tuple.Key([]tuple.Value{masked}, identityCols(1))
+	return string(AppendDynKey(nil, f, v, level))
 }
 
 // ingestTuple pushes a tuple through ops starting at index at, stopping at
@@ -189,7 +218,7 @@ func (e *pipeExec) ingestTuple(at int, vals []tuple.Value) {
 		case query.OpFilter:
 			if o.DynFilterTable != "" {
 				key := e.dynTupleKey(o, vals)
-				if !e.dyn.Contains(o.DynFilterTable, key) {
+				if !e.dyn.ContainsKey(o.DynFilterTable, key) {
 					return
 				}
 			} else {
@@ -209,26 +238,23 @@ func (e *pipeExec) ingestTuple(at int, vals []tuple.Value) {
 			e.outCounts[i]++
 		case query.OpReduce:
 			st := e.states[i]
-			key := e.tupleKey(vals, o.KeyCols)
-			if prev, ok := st.agg[key]; ok {
-				st.agg[key] = o.Func.Apply(prev, vals[o.ValCol].U)
-			} else {
-				st.agg[key] = vals[o.ValCol].U
-				st.keyVals[key] = pickVals(vals, o.KeyCols)
+			e.keyScratch = tuple.AppendKey(e.keyScratch[:0], vals, o.KeyCols)
+			idx, existed := st.GetOrInsert(e.keyScratch, vals, o.KeyCols, vals[o.ValCol].U)
+			if existed {
+				st.SetAgg(idx, o.Func.Apply(st.Agg(idx), vals[o.ValCol].U))
 			}
 			return
 		case query.OpDistinct:
 			st := e.states[i]
-			key := e.tupleKey(vals, o.KeyCols)
-			if _, ok := st.agg[key]; !ok {
-				st.agg[key] = 1
-				st.keyVals[key] = pickVals(vals, o.KeyCols)
-			}
+			e.keyScratch = tuple.AppendKey(e.keyScratch[:0], vals, o.KeyCols)
+			st.GetOrInsert(e.keyScratch, vals, o.KeyCols, 1)
 			return
 		}
 	}
 	e.outCounts[len(e.ops)]++
-	e.outputs = append(e.outputs, vals)
+	out := make([]tuple.Value, len(vals))
+	copy(out, vals)
+	e.outputs = append(e.outputs, out)
 }
 
 // mergeAgg folds a pre-aggregated (key, value) produced by the switch into
@@ -241,19 +267,17 @@ func (e *pipeExec) mergeAgg(at int, keyVals []tuple.Value, agg uint64) {
 		panic(fmt.Sprintf("stream: mergeAgg into stateless op %v", o.Kind))
 	}
 	st := e.states[at]
-	idx := identityCols(len(keyVals))
-	key := e.tupleKey(keyVals, idx)
-	if prev, ok := st.agg[key]; ok {
-		st.agg[key] = o.Func.Apply(prev, agg)
-	} else {
-		st.agg[key] = agg
-		st.keyVals[key] = append([]tuple.Value(nil), keyVals...)
+	e.keyScratch = tuple.AppendKey(e.keyScratch[:0], keyVals, identityCols(len(keyVals)))
+	idx, existed := st.GetOrInsert(e.keyScratch, keyVals, nil, agg)
+	if existed {
+		st.SetAgg(idx, o.Func.Apply(st.Agg(idx), agg))
 	}
 }
 
 // endWindow drains stateful state in pipeline order, cascading through
-// downstream operators, and returns the final outputs. State is reset for
-// the next window.
+// downstream operators, and returns the final outputs. Keys flush in
+// insertion (first-touch) order — deterministic, unlike the Go map's
+// randomized iteration — and state is reset in place for the next window.
 func (e *pipeExec) endWindow() [][]tuple.Value {
 	if e.lastKeys == nil {
 		e.lastKeys = make([]uint64, len(e.ops))
@@ -265,23 +289,24 @@ func (e *pipeExec) endWindow() [][]tuple.Value {
 		}
 		// Capture the key count now: every upstream stateful op has already
 		// flushed into this one.
-		e.lastKeys[i] = uint64(len(st.agg))
+		e.lastKeys[i] = uint64(st.Len())
 		o := &e.ops[i]
-		for key, aggVal := range st.agg {
-			kv := st.keyVals[key]
+		n := st.Len()
+		for k := 0; k < n; k++ {
+			kv := st.KeyVals(k)
 			var out []tuple.Value
 			switch o.Kind {
 			case query.OpReduce:
 				out = make([]tuple.Value, 0, len(kv)+1)
 				out = append(out, kv...)
-				out = append(out, tuple.U64(aggVal))
+				out = append(out, tuple.U64(st.Agg(k)))
 			case query.OpDistinct:
 				out = kv
 			}
 			e.outCounts[i]++
 			e.ingestTuple(i+1, out)
 		}
-		e.states[i] = newOpState()
+		st.Reset()
 	}
 	outs := e.outputs
 	e.outputs = nil
@@ -299,28 +324,18 @@ func (e *pipeExec) resetCounts() {
 	}
 }
 
-// tupleKey encodes the selected columns as a grouping key, reusing the
-// scratch buffer.
-func (e *pipeExec) tupleKey(vals []tuple.Value, idx []int) string {
-	e.keyScratch = tuple.AppendKey(e.keyScratch[:0], vals, idx)
-	return string(e.keyScratch)
-}
-
-// dynTupleKey builds the masked dynamic-filter key for a tuple-phase filter.
-func (e *pipeExec) dynTupleKey(o *query.Op, vals []tuple.Value) string {
-	masked := make([]tuple.Value, len(o.DynKeyCols))
+// dynTupleKey builds the masked dynamic-filter key for a tuple-phase filter
+// into the exec's scratch buffers; the result is valid until the next call.
+func (e *pipeExec) dynTupleKey(o *query.Op, vals []tuple.Value) []byte {
+	if cap(e.dynValScratch) < len(o.DynKeyCols) {
+		e.dynValScratch = make([]tuple.Value, len(o.DynKeyCols))
+	}
+	masked := e.dynValScratch[:len(o.DynKeyCols)]
 	for i, c := range o.DynKeyCols {
 		masked[i] = query.MaskValue(o.DynKeyField, vals[c], o.DynLevel)
 	}
-	return tuple.Key(masked, identityCols(len(masked)))
-}
-
-func pickVals(vals []tuple.Value, idx []int) []tuple.Value {
-	out := make([]tuple.Value, len(idx))
-	for i, j := range idx {
-		out[i] = vals[j]
-	}
-	return out
+	e.dynKeyScratch = tuple.AppendKey(e.dynKeyScratch[:0], masked, identityCols(len(masked)))
+	return e.dynKeyScratch
 }
 
 var identityColCache = func() [][]int {

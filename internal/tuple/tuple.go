@@ -10,6 +10,7 @@ package tuple
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/fields"
@@ -52,17 +53,26 @@ func (v Value) Less(o Value) bool {
 	return v.U < o.U
 }
 
-// String renders the value for logs and test failures.
+// String renders the value for logs and test failures. It runs in result
+// rendering and the -top refresh loop, so it avoids fmt's reflection path.
 func (v Value) String() string {
 	if v.Str {
-		return fmt.Sprintf("%q", v.S)
+		return strconv.Quote(v.S)
 	}
-	return fmt.Sprintf("%d", v.U)
+	return strconv.FormatUint(v.U, 10)
 }
 
 // IPString renders a numeric value as a dotted-quad IPv4 address.
 func (v Value) IPString() string {
-	return fmt.Sprintf("%d.%d.%d.%d", byte(v.U>>24), byte(v.U>>16), byte(v.U>>8), byte(v.U))
+	var b [15]byte // "255.255.255.255"
+	out := strconv.AppendUint(b[:0], v.U>>24&0xFF, 10)
+	out = append(out, '.')
+	out = strconv.AppendUint(out, v.U>>16&0xFF, 10)
+	out = append(out, '.')
+	out = strconv.AppendUint(out, v.U>>8&0xFF, 10)
+	out = append(out, '.')
+	out = strconv.AppendUint(out, v.U&0xFF, 10)
+	return string(out)
 }
 
 // Schema is an ordered list of field IDs describing tuple columns. Field IDs
@@ -170,21 +180,53 @@ func AppendKey(dst []byte, vals []Value, idx []int) []byte {
 
 func appendKey(b []byte, vals []Value, idx []int) []byte {
 	for _, i := range idx {
-		v := vals[i]
-		if v.Str {
-			b = append(b, 's')
-			var l [4]byte
-			binary.BigEndian.PutUint32(l[:], uint32(len(v.S)))
-			b = append(b, l[:]...)
-			b = append(b, v.S...)
-		} else {
-			b = append(b, 'u')
-			var u [8]byte
-			binary.BigEndian.PutUint64(u[:], v.U)
-			b = append(b, u[:]...)
-		}
+		b = AppendKeyValue(b, vals[i])
 	}
 	return b
+}
+
+// AppendKeyValue appends the key encoding of a single value to dst. It is
+// the one-column form of AppendKey, used where the column set is implicit
+// (dynamic-filter keys) and building an index slice would be wasted work.
+func AppendKeyValue(dst []byte, v Value) []byte {
+	if v.Str {
+		dst = append(dst, 's')
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(v.S)))
+		dst = append(dst, l[:]...)
+		return append(dst, v.S...)
+	}
+	dst = append(dst, 'u')
+	var u [8]byte
+	binary.BigEndian.PutUint64(u[:], v.U)
+	return append(dst, u[:]...)
+}
+
+// Hash64 hashes an encoded key to 64 bits. The core is FNV-1a folded over
+// 8-byte little-endian chunks (fast on the per-tuple path), finished with a
+// murmur-style avalanche so that power-of-two-masked low bits are well
+// mixed — the contract internal/keytab's open-addressing tables rely on.
+// Hash quality affects only probe length, never correctness: keytab compares
+// full key bytes on every hit.
+func Hash64(b []byte) uint64 {
+	h := uint64(14695981039346656037) ^ uint64(len(b))
+	for len(b) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(b)) * 1099511628211
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var tail uint64
+		for i := len(b) - 1; i >= 0; i-- {
+			tail = tail<<8 | uint64(b[i])
+		}
+		h = (h ^ tail) * 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
 }
 
 // DecodeKey decodes a key produced by Key back into values. It is the

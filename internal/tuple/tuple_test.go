@@ -135,6 +135,99 @@ func TestKeyInjectiveProperty(t *testing.T) {
 	}
 }
 
+// TestKeyEncodingAdversarial pits the key encoding against tuple lists
+// crafted to collide under naive separator- or concatenation-based schemes:
+// column-boundary shifts, embedded separator bytes, empty strings, strings
+// that spell out the wire encoding of other values, and numeric/string kind
+// confusion. Every pair must encode distinctly (the prefix-free property
+// keytab and the register banks rely on — equal bytes must mean equal keys)
+// and every encoding must round-trip through DecodeKey.
+func TestKeyEncodingAdversarial(t *testing.T) {
+	u := func(b ...byte) string { return string(b) }
+	cases := [][]Value{
+		{},
+		{Str("")},
+		{Str(""), Str("")},
+		{Str(""), Str(""), Str("")},
+		// Boundary shifts: same concatenated bytes, different splits.
+		{Str("ab"), Str("c")},
+		{Str("a"), Str("bc")},
+		{Str("abc")},
+		{Str(""), Str("abc")},
+		{Str("abc"), Str("")},
+		// Embedded separator-ish bytes: commas, NULs, pipes.
+		{Str("a,b"), Str("c")},
+		{Str("a"), Str("b,c")},
+		{Str("a\x00b")},
+		{Str("a"), Str("\x00b")},
+		{Str("a|b"), Str("|")},
+		{Str("a"), Str("|b|")},
+		// Strings spelling out the encoding of numeric values.
+		{Str(u('u', 0, 0, 0, 0, 0, 0, 0, 42))},
+		{U64(42)},
+		{Str("u")},
+		{U64('u')},
+		// Strings spelling out a string header.
+		{Str(u('s', 0, 0, 0, 1, 'x'))},
+		{Str("x")},
+		// Kind confusion: same printable bytes, different kinds.
+		{Str("42")},
+		{U64(0x3432)}, // "42" read as big-endian digits
+		{U64(0), Str("")},
+		{Str(""), U64(0)},
+		{U64(0)},
+		{U64(0), U64(0)},
+		// Length-prefix lookalikes: a string whose body starts with bytes
+		// that parse as the next column's header.
+		{Str(u('s', 0, 0, 0, 9)), U64(1)},
+		{Str(u('s', 0, 0, 0, 9, 'u', 0, 0, 0, 0, 0, 0, 0, 1))},
+	}
+	idx := func(n int) []int {
+		ix := make([]int, n)
+		for i := range ix {
+			ix[i] = i
+		}
+		return ix
+	}
+	keys := make([]string, len(cases))
+	for i, vals := range cases {
+		keys[i] = Key(vals, idx(len(vals)))
+		got, err := DecodeKey(keys[i])
+		if err != nil {
+			t.Fatalf("case %d: DecodeKey: %v", i, err)
+		}
+		if len(got) != len(vals) {
+			t.Fatalf("case %d: round trip %d columns, want %d", i, len(got), len(vals))
+		}
+		for j := range vals {
+			if !got[j].Equal(vals[j]) {
+				t.Fatalf("case %d col %d: %v != %v", i, j, got[j], vals[j])
+			}
+		}
+	}
+	for i := range keys {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[i] == keys[j] {
+				t.Errorf("cases %d and %d collide: %v and %v both encode to %q",
+					i, j, cases[i], cases[j], keys[i])
+			}
+		}
+	}
+	// No encoding may be a strict prefix of another with more columns —
+	// otherwise an arena holding concatenated keys could mistake one key's
+	// head for a shorter key. (Equal-length comparison makes full prefixes
+	// harmless, but keytab compares by length too; document the invariant.)
+	for i := range keys {
+		for j := range keys {
+			if i != j && len(keys[i]) < len(keys[j]) &&
+				keys[j][:len(keys[i])] == keys[i] && len(cases[i]) >= len(cases[j]) {
+				t.Errorf("case %d (%v) is a prefix of case %d (%v) without fewer columns",
+					i, cases[i], j, cases[j])
+			}
+		}
+	}
+}
+
 func TestDecodeKeyRejectsMalformed(t *testing.T) {
 	bad := []string{
 		"x",                                  // unknown tag
