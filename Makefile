@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-alloc bench-smoke check-metrics
+.PHONY: check fmt vet build test race bench bench-alloc bench-smoke check-metrics check-subscribe
 
-check: fmt vet build test race check-metrics bench-alloc
+check: fmt vet build test race check-metrics check-subscribe bench-alloc
 	-@$(MAKE) --no-print-directory bench-smoke
 
 fmt:
@@ -31,6 +31,13 @@ bench:
 # family (sonata_ prefix, counter/gauge/histogram suffix rules, HELP text).
 check-metrics:
 	$(GO) test -run 'TestMetricsLint|TestLint' ./internal/runtime ./internal/telemetry
+
+# Subscription delivery gate, under the race detector: the differential test
+# proves concurrent subscribers observe the sequential runtime's per-window
+# result sequence bit-identically at 1/2/8 workers, and the backpressure test
+# proves a stalled consumer is evicted without delaying window close.
+check-subscribe:
+	$(GO) test -race -run 'TestSubscribe|TestPublishNeverBlocks|TestOnChange|TestSample|TestTargetDefined|TestDialOut' ./internal/subscribe
 
 # Gating allocation budget: TestAllocBudget pins each hot path's allocs/op
 # against alloc_budget.json (all zeros since the arena-backed state rewrite);

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"net"
 	"os"
 	"testing"
 	"time"
@@ -13,7 +14,10 @@ import (
 	"repro/internal/packet"
 	"repro/internal/pisa"
 	"repro/internal/query"
+	"repro/internal/runtime"
 	"repro/internal/stream"
+	"repro/internal/subscribe"
+	"repro/internal/telemetry"
 	"repro/internal/tuple"
 )
 
@@ -87,6 +91,49 @@ func TestAllocBudget(t *testing.T) {
 	tvals := []tuple.Value{tuple.U64(42), tuple.U64(1)}
 	eng.IngestTuple(1, 0, stream.SideLeft, tvals)
 	check("EngineReduceHit", func() { eng.IngestTuple(1, 0, stream.SideLeft, tvals) })
+
+	// Result delivery: one window published through the subscription server
+	// with a stalled drop-oldest subscriber. Encode-once into pooled frames
+	// plus drop-oldest recycling keeps the publish path allocation-free once
+	// the frame buffers and dedup maps are warm; the subscriber's writer
+	// goroutine sits blocked in a pipe write, so nothing else runs during the
+	// measurement.
+	srv := subscribe.NewServer()
+	srv.Instrument(telemetry.NewRegistry())
+	defer srv.Close()
+	stalled, peer := net.Pipe() // nobody reads: the writer blocks on its first frame
+	defer peer.Close()
+	defer stalled.Close() // unblocks (and evicts) the writer before srv.Close
+	if _, err := srv.Attach(stalled, subscribe.SubscribeRequest{
+		Mode: subscribe.Sample, Policy: subscribe.DropOldest, AllLevels: true, QueueCap: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep := allocBudgetReport()
+	for i := 0; i < 4; i++ {
+		srv.Publish(rep) // warm: grow every circulating frame buffer, fill the queue
+	}
+	check("SubscribePublish", func() { srv.Publish(rep) })
+}
+
+// allocBudgetReport fabricates a window report with a coarse and a finest
+// instance per query, the shape the fan-out path sees live.
+func allocBudgetReport() *runtime.WindowReport {
+	mk := func(qid uint16, level uint8, n int) stream.Result {
+		res := stream.Result{QID: qid, Level: level,
+			Schema: tuple.Schema{fields.DstIP, fields.AggVal}}
+		for i := 0; i < n; i++ {
+			res.Tuples = append(res.Tuples,
+				[]tuple.Value{tuple.U64(uint64(qid)<<24 | uint64(i)), tuple.U64(uint64(level))})
+		}
+		return res
+	}
+	rep := &runtime.WindowReport{
+		Index:      7,
+		Results:    []stream.Result{mk(1, 32, 6), mk(2, 16, 3)},
+		AllResults: []stream.Result{mk(1, 8, 2), mk(1, 32, 6), mk(2, 16, 3)},
+	}
+	return rep
 }
 
 func allocBudgetQuery() *query.Query {

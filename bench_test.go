@@ -24,6 +24,8 @@
 package main
 
 import (
+	"fmt"
+	"io"
 	goruntime "runtime"
 	"testing"
 	"time"
@@ -40,6 +42,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/runtime"
 	"repro/internal/stream"
+	"repro/internal/subscribe"
 	"repro/internal/telemetry"
 	"repro/internal/tuple"
 )
@@ -436,6 +439,76 @@ func BenchmarkEndToEndWindow(b *testing.B) {
 	// shard counts while `sequential` stays the single-goroutine baseline.
 	b.Run("sequential", func(b *testing.B) { run(b, 1) })
 	b.Run("sharded", func(b *testing.B) { run(b, goruntime.GOMAXPROCS(0)) })
+}
+
+// BenchmarkSubscribeFanOut measures subscription delivery at fan-out scale:
+// the same sequential window replay with 0, 1, 10, 100, and 1000 attached
+// subscribers, every one in sample-every-window mode over all refinement
+// levels (the worst case — on-change dedup would suppress most frames).
+// Subscribers drain to io.Discard, so the numbers isolate the publish path:
+// encode-once, fingerprint, and N bounded-queue enqueues per instance.
+//
+// Two derived metrics come from the registry, as the live /metrics endpoint
+// would report them: sp_tuples/s is the ingest rate (the acceptance bar is
+// ≤5% overhead at 100 subscribers versus subs=0), delivered/s the notify
+// frames written. BENCH_pr6.json records the measurement.
+func BenchmarkSubscribeFanOut(b *testing.B) {
+	w := benchWorkload(b)
+	params := eval.ScaledParams(benchScale())
+	qs := queries.TopEight(params)
+	tr, err := planner.Train(qs, []int{8, 16, 24}, w.TrainingFrames())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := planner.PlanQueries(tr, qs, pisa.DefaultConfig(), planner.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := w.Frames(2)
+	var pkts int
+	for _, f := range frames {
+		pkts += len(f)
+	}
+	run := func(b *testing.B, subs int) {
+		b.Helper()
+		rt, err := runtime.NewWithOptions(plan, pisa.DefaultConfig(), runtime.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg := telemetry.NewRegistry()
+		rt.Instrument(reg, nil)
+		srv := subscribe.NewServer()
+		srv.Instrument(reg)
+		rt.SetResultSink(srv)
+		defer srv.Close()
+		for i := 0; i < subs; i++ {
+			if _, err := srv.Attach(io.Discard, subscribe.SubscribeRequest{
+				Mode: subscribe.Sample, AllLevels: true, QueueCap: 256,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(pkts))
+		before := reg.Snapshot()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.ProcessWindow(frames)
+		}
+		b.StopTimer()
+		diff := reg.Snapshot().Diff(before)
+		b.ReportMetric(float64(diff.Counter("sonata_runtime_tuples_to_sp_total"))/b.Elapsed().Seconds(), "sp_tuples/s")
+		b.ReportMetric(float64(diff.Counter("sonata_subscribe_delivered_total"))/b.Elapsed().Seconds(), "delivered/s")
+		// The publish hook is the only part of delivery that runs on the
+		// window-close path; on a single-core host the wall-clock numbers
+		// also absorb the writer goroutines' drain work, so this isolates
+		// what fan-out actually costs the ingest pipeline.
+		if h := diff.Histograms["sonata_runtime_publish_ns"]; h.Count > 0 {
+			b.ReportMetric(float64(h.Sum)/float64(h.Count), "publish_ns/window")
+		}
+	}
+	for _, subs := range []int{0, 1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) { run(b, subs) })
+	}
 }
 
 // BenchmarkEndToEndWindowFlightRec measures the flight recorder's overhead

@@ -4,18 +4,25 @@
 //
 // Usage:
 //
-//	eval [-scale small|medium|large] [-out dir] [-workers N] [-debug-addr :9090] [experiment ...]
+//	eval [-scale small|medium|large] [-out dir] [-workers N] [-debug-addr :9090]
+//	     [-subscribe-addr :9339] [experiment ...]
+//	eval -top [-debug-addr host:9090] [-top-interval 1s]
 //
 // Experiments: table3, fig3, fig5, fig7a, fig7b, fig8, fig9, overhead, all.
 //
-// With -debug-addr the process serves /metrics, /debug/vars, and
-// /debug/pprof/ while the experiments run — pprof in particular is the
-// intended way to profile a long "large"-scale run.
+// With -debug-addr the process serves /metrics, /debug/vars, /debug/pprof/,
+// /debug/queries, and (with -subscribe-addr) /debug/subscribers while the
+// experiments run — pprof in particular is the intended way to profile a
+// long "large"-scale run. With -subscribe-addr it additionally serves
+// gNMI-style result subscriptions: every deployed runtime streams its
+// per-window results to attached collectors. With -top it attaches to a
+// running process instead, rendering a refreshing per-query view.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	goruntime "runtime"
@@ -25,6 +32,7 @@ import (
 	"repro/internal/flightrec"
 	"repro/internal/pisa"
 	"repro/internal/queries"
+	"repro/internal/subscribe"
 	"repro/internal/telemetry"
 )
 
@@ -32,19 +40,53 @@ func main() {
 	scaleFlag := flag.String("scale", "medium", "workload scale: small, medium, or large")
 	outDir := flag.String("out", "", "directory for TSV outputs (optional)")
 	workers := flag.Int("workers", goruntime.GOMAXPROCS(0), "window-pipeline worker shards (1 = sequential)")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this address")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this address (with -top: the address to poll)")
+	subscribeAddr := flag.String("subscribe-addr", "", "serve gNMI-style result subscriptions on this address")
+	top := flag.Bool("top", false, "poll a running process's /debug/queries and render a refreshing top view")
+	topInterval := flag.Duration("top-interval", time.Second, "refresh interval for -top")
 	flag.Parse()
+
+	if *top {
+		if *debugAddr == "" {
+			fatal(fmt.Errorf("-top needs -debug-addr of the process to watch"))
+		}
+		if err := flightrec.WatchTop(os.Stdout, *debugAddr, *topInterval); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	eval.DefaultWorkers = *workers
 
+	// The registry and flight recorder always exist (instrumentation is free
+	// when nothing reads it); the endpoints are opt-in.
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterBuildInfo(reg, time.Now())
+	eval.DefaultTelemetry = reg // every deployed runtime registers here
+	rec := flightrec.New(0, nil)
+	rec.Instrument(reg)
+	eval.DefaultFlightRec = rec // /debug/queries follows the live runtime
+
+	var subSrv *subscribe.Server
+	if *subscribeAddr != "" {
+		subSrv = subscribe.NewServer()
+		subSrv.Instrument(reg)
+		eval.DefaultResultSink = subSrv // every deployed runtime publishes here
+		ln, err := net.Listen("tcp", *subscribeAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer subSrv.Close()
+		go subSrv.Serve(ln)
+		fmt.Fprintf(os.Stderr, "[eval] subscription endpoint on %s\n", ln.Addr())
+	}
+
 	if *debugAddr != "" {
-		reg := telemetry.NewRegistry()
-		eval.DefaultTelemetry = reg // every deployed runtime registers here
-		rec := flightrec.New(0, nil)
-		rec.Instrument(reg)
-		eval.DefaultFlightRec = rec // /debug/queries follows the live runtime
 		mux := telemetry.NewDebugMux(reg)
 		mux.Handle("/debug/queries", rec.Handler())
+		if subSrv != nil {
+			mux.Handle("/debug/subscribers", subSrv.Handler())
+		}
 		srv, addr, err := telemetry.ServeDebugMux(*debugAddr, mux)
 		if err != nil {
 			fatal(err)

@@ -8,7 +8,7 @@
 //	sonata [-pcap trace.pcap | -synth] [-queries q1,q2,...] [-mode sonata]
 //	       [-window 3s] [-train 2] [-pkts 100000] [-windows 6] [-v]
 //	       [-workers N] [-debug-addr :9090] [-trace spans.jsonl]
-//	       [-flightrec 64]
+//	       [-flightrec 64] [-subscribe-addr :9339] [-dial-out host:9339]
 //	sonata -top [-debug-addr host:9090] [-top-interval 1s]
 //
 // Query names follow internal/queries (e.g. newly_opened_tcp_conns,
@@ -21,6 +21,13 @@
 // lifecycle stage (trace slice, switch pass, emitter decode, stream eval,
 // filter update) to the given file ("-" for stderr).
 //
+// With -subscribe-addr the process serves gNMI-style streaming result
+// subscriptions: collectors connect, pick a mode (on-change, sample, or
+// target-defined), and receive each window's per-query results with
+// per-subscriber backpressure (see internal/subscribe). The debug mux gains
+// /debug/subscribers. With -dial-out the process instead (or additionally)
+// pushes every window to a remote collector, redialing with backoff.
+//
 // With -top the command attaches to a running process instead: it polls
 // http://<debug-addr>/debug/queries and renders a refreshing top-style view
 // of per-query tuple-reduction factors, register pressure, plan drift, and
@@ -28,11 +35,10 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
+	"net"
 	"os"
 	goruntime "runtime"
 	"strings"
@@ -46,6 +52,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/queries"
 	"repro/internal/query"
+	"repro/internal/subscribe"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/tuple"
@@ -67,13 +74,15 @@ func main() {
 	frCap := flag.Int("flightrec", flightrec.DefaultCapacity, "flight-recorder ring capacity (windows retained)")
 	top := flag.Bool("top", false, "poll a running process's /debug/queries and render a refreshing top view")
 	topInterval := flag.Duration("top-interval", time.Second, "refresh interval for -top")
+	subscribeAddr := flag.String("subscribe-addr", "", "serve gNMI-style result subscriptions on this address")
+	dialOut := flag.String("dial-out", "", "push every window's results to this collector address (dial-out telemetry)")
 	flag.Parse()
 
 	if *top {
 		if *debugAddr == "" {
 			fatal(fmt.Errorf("-top needs -debug-addr of the process to watch"))
 		}
-		if err := runTop(*debugAddr, *topInterval); err != nil {
+		if err := flightrec.WatchTop(os.Stdout, *debugAddr, *topInterval); err != nil {
 			fatal(err)
 		}
 		return
@@ -105,11 +114,40 @@ func main() {
 		tracer = telemetry.NewTracer(w)
 	}
 	reg := telemetry.NewRegistry()
+	telemetry.RegisterBuildInfo(reg, time.Now())
 	rec := flightrec.New(*frCap, tracer)
 	rec.Instrument(reg)
+
+	// Result delivery: a subscription server collectors dial into, a
+	// dial-out exporter pushing to a remote collector, or both.
+	var sinks subscribe.MultiSink
+	var subSrv *subscribe.Server
+	if *subscribeAddr != "" {
+		subSrv = subscribe.NewServer()
+		subSrv.Instrument(reg)
+		ln, err := net.Listen("tcp", *subscribeAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer subSrv.Close()
+		go subSrv.Serve(ln)
+		sinks = append(sinks, subSrv)
+		fmt.Fprintf(os.Stderr, "[sonata] subscription endpoint on %s\n", ln.Addr())
+	}
+	if *dialOut != "" {
+		exp := subscribe.NewDialOut(*dialOut, subscribe.DialOutOptions{})
+		exp.Instrument(reg)
+		defer exp.Close()
+		sinks = append(sinks, exp)
+		fmt.Fprintf(os.Stderr, "[sonata] dialing out to collector %s\n", *dialOut)
+	}
+
 	if *debugAddr != "" {
 		mux := telemetry.NewDebugMux(reg)
 		mux.Handle("/debug/queries", rec.Handler())
+		if subSrv != nil {
+			mux.Handle("/debug/subscribers", subSrv.Handler())
+		}
 		srv, addr, err := telemetry.ServeDebugMux(*debugAddr, mux)
 		if err != nil {
 			fatal(err)
@@ -181,6 +219,9 @@ func main() {
 	}
 	rt.Instrument(reg, tracer)
 	rt.AttachFlightRecorder(rec)
+	if len(sinks) > 0 {
+		rt.SetResultSink(sinks)
+	}
 	fmt.Fprintln(os.Stderr, "[sonata] plan:")
 	for _, line := range rt.EntrySummary() {
 		fmt.Fprintln(os.Stderr, "  ", line)
@@ -209,52 +250,6 @@ func main() {
 		}
 	}
 	fmt.Printf("cumulative collision rate: %.4f%%\n", rt.CollisionRate()*100)
-}
-
-// runTop polls addr's /debug/queries endpoint every interval and renders a
-// refreshing top-style terminal view. It runs until the endpoint errors
-// repeatedly (e.g. the watched process exited).
-func runTop(addr string, interval time.Duration) error {
-	if interval <= 0 {
-		interval = time.Second
-	}
-	url := "http://" + addr + "/debug/queries"
-	client := &http.Client{Timeout: interval}
-	var prev *flightrec.Snapshot
-	failures := 0
-	for {
-		cur, err := fetchSnapshot(client, url)
-		if err != nil {
-			failures++
-			if failures >= 3 {
-				return fmt.Errorf("polling %s: %w", url, err)
-			}
-		} else {
-			failures = 0
-			// \x1b[H\x1b[2J homes the cursor and clears the screen, the
-			// classic top(1) refresh.
-			fmt.Print("\x1b[H\x1b[2J")
-			fmt.Print(flightrec.RenderTop(prev, cur, interval.Seconds()))
-			prev = cur
-		}
-		time.Sleep(interval)
-	}
-}
-
-func fetchSnapshot(client *http.Client, url string) (*flightrec.Snapshot, error) {
-	resp, err := client.Get(url)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("status %s", resp.Status)
-	}
-	var s flightrec.Snapshot
-	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
-		return nil, err
-	}
-	return &s, nil
 }
 
 // readPcapWindows opens, reads, and slices a pcap file into per-window

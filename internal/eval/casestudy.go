@@ -78,6 +78,12 @@ func CaseStudy(scale Scale) (*CaseStudyResult, error) {
 	if DefaultTelemetry != nil {
 		rt.Instrument(DefaultTelemetry, nil)
 	}
+	if DefaultFlightRec != nil {
+		rt.AttachFlightRecorder(DefaultFlightRec)
+	}
+	if DefaultResultSink != nil {
+		rt.SetResultSink(DefaultResultSink)
+	}
 
 	res := &CaseStudyResult{Victim: victim, VictimIdentifiedWindow: -1, AttackConfirmedWindow: -1}
 	res.Table = &Table{ID: "fig9", Title: "Zorro case study timeline",

@@ -22,6 +22,11 @@ var DefaultTelemetry *telemetry.Registry
 // pipeline. cmd/eval wires its -workers flag here.
 var DefaultWorkers int
 
+// DefaultResultSink, when non-nil, receives every deployed runtime's
+// window reports (cmd/eval's -subscribe-addr wires a subscription server
+// here so collectors can watch an evaluation live).
+var DefaultResultSink runtime.ResultSink
+
 // DefaultFlightRec, when non-nil, is attached to every runtime an
 // experiment deploys, so /debug/queries follows whichever run is live.
 var DefaultFlightRec *flightrec.Recorder
@@ -104,6 +109,9 @@ type Experiment struct {
 	// FlightRec, when set, is attached to every runtime the experiment
 	// deploys (the recorder resets per deployment, so it tracks the live one).
 	FlightRec *flightrec.Recorder
+	// Sink, when set, receives every deployed runtime's window reports
+	// (subscription fan-out rides along with the evaluation).
+	Sink runtime.ResultSink
 
 	training *planner.TrainingResult
 }
@@ -112,7 +120,7 @@ type Experiment struct {
 func NewExperiment(w *Workload, qs []*query.Query) *Experiment {
 	return &Experiment{W: w, Queries: qs, Levels: []int{8, 16, 24},
 		Telemetry: DefaultTelemetry, Workers: DefaultWorkers,
-		FlightRec: DefaultFlightRec}
+		FlightRec: DefaultFlightRec, Sink: DefaultResultSink}
 }
 
 // Training trains lazily and caches.
@@ -149,6 +157,9 @@ func (e *Experiment) Run(cfg pisa.Config, mode planner.Mode) (*RunResult, error)
 	}
 	if e.FlightRec != nil {
 		rt.AttachFlightRecorder(e.FlightRec)
+	}
+	if e.Sink != nil {
+		rt.SetResultSink(e.Sink)
 	}
 	res := &RunResult{Mode: mode, Detected: make(map[uint64]bool), PlannedN: plan.ExpectedN()}
 	for _, qp := range plan.Queries {

@@ -81,6 +81,7 @@ type Probe struct {
 	tuplesToSP  uint64
 	mirrored    uint64
 	mirrorBytes uint64
+	delivBytes  uint64
 	collisions  uint64
 	dumpTuples  uint64
 	regUsed     uint64
@@ -127,6 +128,16 @@ func (p *Probe) Mirror() {
 func (p *Probe) Bytes(n uint64) {
 	if p != nil {
 		p.mirrorBytes += n
+	}
+}
+
+// Delivered counts encoded result bytes queued for subscribers on behalf of
+// this instance — the subscription server's per-(query, level) attribution
+// of the delivery path. Called from the publish step of window close (main
+// goroutine), like the other boundary accumulators.
+func (p *Probe) Delivered(n uint64) {
+	if p != nil {
+		p.delivBytes += n
 	}
 }
 
@@ -221,11 +232,14 @@ type Record struct {
 	Results     uint64  `json:"result_tuples"`
 	Mirrored    uint64  `json:"mirrored"`
 	MirrorBytes uint64  `json:"mirror_bytes"`
-	Collisions  uint64  `json:"collisions"`
-	DumpTuples  uint64  `json:"dump_tuples"`
-	RegUsed     uint64  `json:"reg_used"`
-	RegCapacity uint64  `json:"reg_capacity"`
-	EvalNS      int64   `json:"eval_ns"`
+	// DeliveredBytes is the encoded update volume queued to subscribers for
+	// this instance this window (0 when no subscription server is attached).
+	DeliveredBytes uint64 `json:"delivered_bytes"`
+	Collisions     uint64 `json:"collisions"`
+	DumpTuples     uint64 `json:"dump_tuples"`
+	RegUsed        uint64 `json:"reg_used"`
+	RegCapacity    uint64 `json:"reg_capacity"`
+	EvalNS         int64  `json:"eval_ns"`
 	// BusyNS is the shard busy time attributed to this instance: the owner
 	// shard's window busy time scaled by the instance's share of the
 	// shard's observed work (0 in sequential mode, which reports no
@@ -479,6 +493,7 @@ func (rec *Recorder) commitProbe(p *Probe, r *Record, window int, packetsIn uint
 	r.Results = p.results
 	r.Mirrored = p.mirrored
 	r.MirrorBytes = p.mirrorBytes
+	r.DeliveredBytes = p.delivBytes
 	r.Collisions = p.collisions
 	r.DumpTuples = p.dumpTuples
 	r.RegUsed, r.RegCapacity = p.regUsed, p.regCapacity
@@ -504,7 +519,7 @@ func (rec *Recorder) commitProbe(p *Probe, r *Record, window int, packetsIn uint
 	}
 
 	// Reset the window accumulators; cumulative and static fields persist.
-	p.tuplesToSP, p.mirrored, p.mirrorBytes = 0, 0, 0
+	p.tuplesToSP, p.mirrored, p.mirrorBytes, p.delivBytes = 0, 0, 0, 0
 	p.collisions, p.dumpTuples, p.regUsed = 0, 0, 0
 	p.results, p.evalNS = 0, 0
 	p.refKeys, p.refChanged = 0, false

@@ -52,7 +52,7 @@ func RenderText(s *Snapshot, showOps bool) string {
 		return b.String()
 	}
 	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintln(tw, "QID\tLVL\tSHD\tTUPLES\tREDUCE\tMIRROR\tBYTES\tCOLL\tDUMPS\tREG\tEST\tOBS\tDRIFT\tBUSY\tEVAL\tRESULTS\tREFINE\t")
+	fmt.Fprintln(tw, "QID\tLVL\tSHD\tTUPLES\tREDUCE\tMIRROR\tBYTES\tDELIV\tCOLL\tDUMPS\tREG\tEST\tOBS\tDRIFT\tBUSY\tEVAL\tRESULTS\tREFINE\t")
 	for i := range s.Queries {
 		r := &s.Queries[i]
 		reg := "-"
@@ -66,14 +66,15 @@ func RenderText(s *Snapshot, showOps bool) string {
 				ref += "*"
 			}
 		}
-		fmt.Fprintf(tw, "%d\t/%d\t%d\t%d\t%s\t%d\t%s\t%d\t%d\t%s\t%d\t%d\t%.2f\t%s\t%s\t%d\t%s\t\n",
+		fmt.Fprintf(tw, "%d\t/%d\t%d\t%d\t%s\t%d\t%s\t%s\t%d\t%d\t%s\t%d\t%d\t%.2f\t%s\t%s\t%d\t%s\t\n",
 			r.QID, r.Level, r.Shard, r.TuplesToSP, humanFactor(r.Reduction),
-			r.Mirrored, humanBytes(r.MirrorBytes), r.Collisions, r.DumpTuples,
+			r.Mirrored, humanBytes(r.MirrorBytes), humanBytes(r.DeliveredBytes),
+			r.Collisions, r.DumpTuples,
 			reg, r.EstWork, r.ObsWork, r.Drift,
 			humanNS(r.BusyNS), humanNS(r.EvalNS), r.Results, ref)
 		if showOps {
 			for _, op := range r.Ops {
-				fmt.Fprintf(tw, "\t\t\t\t\t\t\t\t\t\t\t\t\t\t\t\t%s in=%d out=%d\t\n",
+				fmt.Fprintf(tw, "\t\t\t\t\t\t\t\t\t\t\t\t\t\t\t\t\t%s in=%d out=%d\t\n",
 					op.Label, op.In, op.Out)
 			}
 		}

@@ -1,0 +1,56 @@
+package flightrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// WatchTop polls addr's /debug/queries endpoint every interval and renders a
+// refreshing top-style view to w. It runs until the endpoint errors three
+// times in a row (e.g. the watched process exited), so both binaries share
+// one attach-mode implementation instead of each carrying a polling loop.
+func WatchTop(w io.Writer, addr string, interval time.Duration) error {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	url := "http://" + addr + "/debug/queries"
+	client := &http.Client{Timeout: interval}
+	var prev *Snapshot
+	failures := 0
+	for {
+		cur, err := fetchSnapshot(client, url)
+		if err != nil {
+			failures++
+			if failures >= 3 {
+				return fmt.Errorf("polling %s: %w", url, err)
+			}
+		} else {
+			failures = 0
+			// \x1b[H\x1b[2J homes the cursor and clears the screen, the
+			// classic top(1) refresh.
+			fmt.Fprint(w, "\x1b[H\x1b[2J")
+			fmt.Fprint(w, RenderTop(prev, cur, interval.Seconds()))
+			prev = cur
+		}
+		time.Sleep(interval)
+	}
+}
+
+func fetchSnapshot(client *http.Client, url string) (*Snapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

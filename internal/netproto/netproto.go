@@ -40,7 +40,20 @@ const (
 	// and stats.
 	MsgEndWindow
 	MsgWindowData
+	// MsgSubscribe opens a streaming result subscription (gNMI-style);
+	// MsgSubscribeOK acknowledges it with the assigned subscriber id.
+	MsgSubscribe
+	MsgSubscribeOK
+	// MsgNotify carries one (query, level) window update to a subscriber.
+	// Unlike the request/response pairs above it is one-way: the server (or
+	// a dial-out client) streams notify frames without awaiting acks, so the
+	// result path never blocks on a round trip.
+	MsgNotify
 )
+
+// lastMsgType is the highest defined message type; Instrument registers one
+// RTT series per type up to here.
+const lastMsgType = MsgNotify
 
 func (t MsgType) String() string {
 	switch t {
@@ -62,6 +75,12 @@ func (t MsgType) String() string {
 		return "end-window"
 	case MsgWindowData:
 		return "window-data"
+	case MsgSubscribe:
+		return "subscribe"
+	case MsgSubscribeOK:
+		return "subscribe-ok"
+	case MsgNotify:
+		return "notify"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(t))
 	}
@@ -143,7 +162,7 @@ func (c *Conn) Instrument(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
-	for t := MsgType(0); t <= MsgWindowData; t++ {
+	for t := MsgType(0); t <= lastMsgType; t++ {
 		c.m.rtt[t] = reg.Histogram("sonata_netproto_rtt_ns",
 			"Round-trip time of one control request in nanoseconds.",
 			telemetry.DurationBuckets, "type", t.String())
@@ -175,21 +194,29 @@ func (c *Conn) Send(t MsgType, payload any) error {
 			return fmt.Errorf("netproto: encoding %v: %w", t, err)
 		}
 	}
+	return c.SendRaw(t, body.Bytes())
+}
+
+// SendRaw writes one frame whose body is already encoded. This is the
+// fan-out fast path: a subscription server encodes an update once and writes
+// the same body to every subscriber without re-serializing, and the write
+// itself allocates nothing.
+func (c *Conn) SendRaw(t MsgType, body []byte) error {
 	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(body.Len()+1))
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)+1))
 	hdr[4] = byte(t)
 	if _, err := c.rw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("netproto: writing %v header: %w", t, err)
 	}
 	// Skip empty writes: a zero-length Write on a synchronous transport
 	// (net.Pipe) blocks until a matching zero-length Read that never comes.
-	if body.Len() > 0 {
-		if _, err := c.rw.Write(body.Bytes()); err != nil {
+	if len(body) > 0 {
+		if _, err := c.rw.Write(body); err != nil {
 			return fmt.Errorf("netproto: writing %v body: %w", t, err)
 		}
 	}
 	c.m.framesSent.Inc()
-	c.m.bytesSent.Add(uint64(len(hdr) + body.Len()))
+	c.m.bytesSent.Add(uint64(len(hdr) + len(body)))
 	return nil
 }
 

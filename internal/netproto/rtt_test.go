@@ -107,6 +107,81 @@ func keysOf(s telemetry.Snapshot) []string {
 	return out
 }
 
+// TestReconnectMetricsContinuity: when a control connection drops and the
+// client redials, the new Conn is instrumented against the same registry.
+// The registry hands back the existing handles, so the RTT histograms and
+// frame/byte counters continue across the reconnect — each call observed
+// exactly once, never doubled by the re-registration, and the in-flight
+// failure of the dropped connection contributes no phantom observation.
+func TestReconnectMetricsContinuity(t *testing.T) {
+	reg := telemetry.NewRegistry()
+
+	// First connection: one successful Hello call, then the transport drops
+	// mid-call (the peer closes without responding).
+	c1, s1 := net.Pipe()
+	client := NewConn(c1)
+	client.Instrument(reg)
+	done := serveCalls(t, NewConn(s1), 1)
+	if err := client.Call(MsgHello, Hello{Version: ProtocolVersion}, MsgCapabilities, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		// Swallow the request frame, then hang up instead of answering.
+		conn := NewConn(s1)
+		conn.RecvRaw()
+		s1.Close()
+	}()
+	if err := client.Call(MsgUpdateTable, UpdateTable{QID: 9}, MsgUpdateOK, nil); err == nil {
+		t.Fatal("call on dropped connection succeeded")
+	}
+	c1.Close()
+
+	// Redial: a fresh Conn instrumented against the same registry.
+	c2, s2 := net.Pipe()
+	client = NewConn(c2)
+	client.Instrument(reg)
+	defer c2.Close()
+	defer s2.Close()
+	done = serveCalls(t, NewConn(s2), 2)
+	for i := 0; i < 2; i++ {
+		if err := client.Call(MsgUpdateTable, UpdateTable{QID: 1}, MsgUpdateOK, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	// RTT continuity: 1 hello observation from before the drop, 2 update
+	// observations from after it. The failed call observes nothing (no
+	// response ever arrived), and re-Instrument must not double anything.
+	cases := []struct {
+		mt   MsgType
+		want uint64
+	}{
+		{MsgHello, 1},
+		{MsgUpdateTable, 2},
+	}
+	for _, c := range cases {
+		key := fmt.Sprintf(`sonata_netproto_rtt_ns{type="%s"}`, c.mt)
+		if got := s.Histograms[key].Count; got != c.want {
+			t.Errorf("%s: count = %d across reconnect, want %d", key, got, c.want)
+		}
+	}
+	// Frames sent: 1 hello + 1 failed update + 2 updates = 4; received
+	// responses: 1 capabilities + 2 update-oks = 3.
+	if got := s.Counter("sonata_netproto_frames_sent_total"); got != 4 {
+		t.Errorf("frames sent across reconnect = %d, want 4", got)
+	}
+	if got := s.Counter("sonata_netproto_frames_recv_total"); got != 3 {
+		t.Errorf("frames recv across reconnect = %d, want 3", got)
+	}
+}
+
 // TestCallUninstrumented: Call must work (and not panic) on a connection
 // that was never instrumented, and after Instrument(nil) — the nil-handle
 // discipline of the telemetry package.

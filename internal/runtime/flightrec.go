@@ -47,6 +47,12 @@ func (r *Runtime) AttachFlightRecorder(rec *flightrec.Recorder) {
 			return probes[stream.QueryKey{QID: qid, Level: level}]
 		}
 	}
+	r.frLookup = lookup
+	// A sink installed before the recorder gets its probes now (and loses
+	// them when the recorder detaches); SetResultSink covers the other order.
+	if a, ok := r.sink.(FlightRecAttacher); ok {
+		a.AttachFlightRec(lookup)
+	}
 	if len(r.shards) > 0 {
 		for _, s := range r.shards {
 			s.sw.AttachFlightRec(lookup)

@@ -53,6 +53,36 @@ type WindowReport struct {
 	ShardBusy []time.Duration
 }
 
+// ResultSink receives each WindowReport as the window closes, before the
+// flight recorder seals it — so a sink that attributes delivery bytes via
+// flightrec probes lands them in the same window's record. Publish is called
+// from the runtime's close path and must not block: sinks fan out to slow
+// consumers through bounded queues, never by stalling the pipeline. The
+// report and its results are shared, not copied; sinks must treat them as
+// read-only and must not retain the tuple slices past Publish unless they
+// encode them first.
+type ResultSink interface {
+	Publish(rep *WindowReport)
+}
+
+// FlightRecAttacher is implemented by sinks that attribute their delivery
+// volume to (query, level) flight-recorder records. The runtime forwards its
+// probe lookup whenever both a recorder and a sink are attached, in either
+// order.
+type FlightRecAttacher interface {
+	AttachFlightRec(lookup func(qid uint16, level uint8) *flightrec.Probe)
+}
+
+// SetResultSink installs (or, with nil, removes) the sink that receives each
+// closed window's report. If a flight recorder is already attached and the
+// sink wants probes, they are wired immediately.
+func (r *Runtime) SetResultSink(sink ResultSink) {
+	r.sink = sink
+	if a, ok := sink.(FlightRecAttacher); ok {
+		a.AttachFlightRec(r.frLookup)
+	}
+}
+
 // Options tunes a runtime's execution mode.
 type Options struct {
 	// Workers is the number of parallel shards the installed (query, level)
@@ -126,6 +156,10 @@ type Runtime struct {
 	infos    []instInfo
 	flight   *flightrec.Recorder
 	frProbes map[stream.QueryKey]*flightrec.Probe
+	frLookup func(qid uint16, level uint8) *flightrec.Probe
+	// sink receives each WindowReport at window close (nil until
+	// SetResultSink); Publish runs on the close path and must not block.
+	sink ResultSink
 	// collisionSum tracks cumulative collisions for the re-planning signal.
 	collisionSum uint64
 	packetsSum   uint64
@@ -593,6 +627,16 @@ func (r *Runtime) closeWindow() *WindowReport {
 	if !r.windowStart.IsZero() {
 		r.m.windowNS.ObserveDuration(time.Since(r.windowStart))
 		r.windowStart = time.Time{}
+	}
+	// Fan the report out to subscribers before the flight recorder seals the
+	// window, so delivery bytes are attributed to the window they belong to.
+	// Publish must not block (sinks absorb slow consumers in bounded queues).
+	if r.sink != nil {
+		pub := r.tracer.Start(r.window, telemetry.StagePublish)
+		pubStart := time.Now()
+		r.sink.Publish(rep)
+		r.m.publishNS.ObserveDuration(time.Since(pubStart))
+		pub.End()
 	}
 	// Seal the window into the flight recorder with the very values the
 	// report carries (a nil recorder no-ops).

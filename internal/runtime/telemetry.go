@@ -18,6 +18,7 @@ type runtimeMetrics struct {
 	refTransitions *telemetry.Counter
 	windowNS       *telemetry.Histogram
 	filterUpdateNS *telemetry.Histogram
+	publishNS      *telemetry.Histogram
 	windowIndex    *telemetry.Gauge
 	// packets feeds sonata_switch_packets_total from the sharded fan-out
 	// path, where the runtime parses each frame once and the shard switches
@@ -60,6 +61,9 @@ func (r *Runtime) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 			telemetry.DurationBuckets),
 		filterUpdateNS: reg.Histogram("sonata_runtime_filter_update_ns",
 			"Wall time spent writing refinement filter updates per window.",
+			telemetry.DurationBuckets),
+		publishNS: reg.Histogram("sonata_runtime_publish_ns",
+			"Wall time spent publishing window results to the result sink.",
 			telemetry.DurationBuckets),
 		windowIndex: reg.Gauge("sonata_runtime_window_index",
 			"Index of the most recently closed window."),

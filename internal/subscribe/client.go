@@ -1,0 +1,69 @@
+package subscribe
+
+import (
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/netproto"
+)
+
+// Client consumes a subscription stream: one MsgSubscribe/MsgSubscribeOK
+// handshake, then MsgNotify frames until the connection drops.
+type Client struct {
+	pc *netproto.Conn
+	// ID is the server-assigned subscriber id (set by Subscribe).
+	ID uint64
+}
+
+// NewClient wraps an established transport. Call Subscribe before Recv.
+func NewClient(rw io.ReadWriter) *Client {
+	return &Client{pc: netproto.NewConn(rw)}
+}
+
+// Dial connects to a subscription server and performs the handshake. The
+// returned conn is owned by the caller (close it to end the subscription).
+func Dial(addr string, req SubscribeRequest) (*Client, net.Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := NewClient(nc)
+	if err := c.Subscribe(req); err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
+	return c, nc, nil
+}
+
+// Subscribe sends the request and waits for the ack.
+func (c *Client) Subscribe(req SubscribeRequest) error {
+	var ack SubscribeAck
+	if err := c.pc.Call(netproto.MsgSubscribe, &req, netproto.MsgSubscribeOK, &ack); err != nil {
+		return err
+	}
+	c.ID = ack.ID
+	return nil
+}
+
+// RecvRaw returns the next notify frame's undecoded body — the exact bytes
+// the server encoded, which the differential tests compare bit-for-bit.
+func (c *Client) RecvRaw() ([]byte, error) {
+	t, body, err := c.pc.RecvRaw()
+	if err != nil {
+		return nil, err
+	}
+	if t != netproto.MsgNotify {
+		return nil, fmt.Errorf("subscribe: got %v frame, want notify", t)
+	}
+	return body, nil
+}
+
+// Recv returns the next decoded update.
+func (c *Client) Recv() (Update, error) {
+	body, err := c.RecvRaw()
+	if err != nil {
+		return Update{}, err
+	}
+	return DecodeUpdate(body)
+}

@@ -1,0 +1,218 @@
+package subscribe
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/netproto"
+	"repro/internal/runtime"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// DialOutOptions tunes a dial-out exporter.
+type DialOutOptions struct {
+	// QueueCap bounds updates buffered across collector outages
+	// (0 = DefaultQueueCap). Overflow always drops oldest: the exporter
+	// exists to survive a flaky collector, not to disconnect from it.
+	QueueCap int
+	// AllLevels forwards coarse refinement levels too (default: finest only).
+	AllLevels bool
+	// MinBackoff/MaxBackoff bound the reconnect backoff (defaults 100ms/5s).
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+}
+
+// DialOut is the reverse of Serve: instead of collectors subscribing in,
+// the monitored process pushes every window to a remote collector —
+// gNMI's dial-out telemetry. It implements runtime.ResultSink; Publish
+// never blocks regardless of collector health. A background goroutine
+// dials the collector with exponential backoff, sends MsgHello, then
+// streams MsgNotify frames; on a write failure the frame is retried once
+// on the next connection before being counted dropped.
+type DialOut struct {
+	addr string
+	opts DialOutOptions
+
+	mu     sync.Mutex
+	q      chan []byte
+	closed bool
+	done   chan struct{}
+	dialed bool // a first connection attempt has happened (run goroutine only)
+
+	reconnects *telemetry.Counter
+	sent       *telemetry.Counter
+	dropped    *telemetry.Counter
+}
+
+// NewDialOut starts an exporter pushing to addr.
+func NewDialOut(addr string, opts DialOutOptions) *DialOut {
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = DefaultQueueCap
+	}
+	if opts.MinBackoff <= 0 {
+		opts.MinBackoff = 100 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 5 * time.Second
+	}
+	d := &DialOut{
+		addr: addr,
+		opts: opts,
+		q:    make(chan []byte, opts.QueueCap),
+		done: make(chan struct{}),
+	}
+	go d.run()
+	return d
+}
+
+// Instrument registers the exporter's metrics (nil-safe).
+func (d *DialOut) Instrument(reg *telemetry.Registry) {
+	d.reconnects = reg.Counter("sonata_subscribe_dialout_reconnects_total",
+		"Dial-out collector connection attempts after the first.")
+	d.sent = reg.Counter("sonata_subscribe_dialout_sent_total",
+		"Dial-out notify frames delivered to the collector.")
+	d.dropped = reg.Counter("sonata_subscribe_dialout_dropped_total",
+		"Dial-out updates discarded while the collector was unreachable.")
+}
+
+// Publish encodes the window's results and enqueues them, dropping the
+// oldest buffered update on overflow. Unlike the fan-out server there is a
+// copy per update here — the dial-out queue outlives the window, and one
+// collector does not merit a refcounting scheme.
+func (d *DialOut) Publish(rep *runtime.WindowReport) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	results := rep.Results
+	if d.opts.AllLevels {
+		results = rep.AllResults
+	}
+	for i := range results {
+		res := &results[i]
+		buf := appendHeader(nil, rep.Index, stream.QueryKey{QID: res.QID, Level: res.Level})
+		buf = appendResult(buf, res)
+		for {
+			select {
+			case d.q <- buf:
+			default:
+				select {
+				case <-d.q:
+					d.dropped.Inc()
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// run owns the connection: dial with backoff, hello, stream, redial.
+func (d *DialOut) run() {
+	defer close(d.done)
+	var pending []byte // frame that failed mid-connection, retried once
+	for {
+		conn := d.dial()
+		if conn == nil {
+			return // closed while dialing
+		}
+		pc := netproto.NewConn(conn)
+		if err := pc.Send(netproto.MsgHello, &netproto.Hello{Version: netproto.ProtocolVersion}); err != nil {
+			conn.Close()
+			continue
+		}
+		for {
+			var buf []byte
+			if pending != nil {
+				buf, pending = pending, nil
+			} else {
+				var ok bool
+				buf, ok = <-d.q
+				if !ok {
+					conn.Close()
+					return
+				}
+			}
+			if err := pc.SendRaw(netproto.MsgNotify, buf); err != nil {
+				pending = buf
+				conn.Close()
+				break
+			}
+			d.sent.Inc()
+		}
+	}
+}
+
+// dial keeps trying until it connects or the exporter closes. Every
+// attempt after the exporter's very first counts as a reconnect.
+func (d *DialOut) dial() net.Conn {
+	backoff := d.opts.MinBackoff
+	for {
+		d.mu.Lock()
+		closed := d.closed
+		d.mu.Unlock()
+		if closed {
+			return nil
+		}
+		if d.dialed {
+			d.reconnects.Inc()
+		}
+		d.dialed = true
+		conn, err := net.Dial("tcp", d.addr)
+		if err == nil {
+			return conn
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > d.opts.MaxBackoff {
+			backoff = d.opts.MaxBackoff
+		}
+	}
+}
+
+// Close stops the exporter; buffered updates not yet on the wire are
+// discarded once the current write (if any) finishes.
+func (d *DialOut) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	close(d.q)
+	d.mu.Unlock()
+	<-d.done
+	return nil
+}
+
+// Collect serves one dial-out connection on the collector side: it expects
+// the opening MsgHello, then decodes every MsgNotify into handler until the
+// peer disconnects. A clean EOF returns nil.
+func Collect(conn net.Conn, handler func(Update)) error {
+	pc := netproto.NewConn(conn)
+	var hello netproto.Hello
+	if err := pc.Expect(netproto.MsgHello, &hello); err != nil {
+		return err
+	}
+	for {
+		t, body, err := pc.RecvRaw()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if t != netproto.MsgNotify {
+			continue
+		}
+		u, err := DecodeUpdate(body)
+		if err != nil {
+			return err
+		}
+		handler(u)
+	}
+}

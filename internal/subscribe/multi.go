@@ -1,0 +1,29 @@
+package subscribe
+
+import (
+	"repro/internal/flightrec"
+	"repro/internal/runtime"
+)
+
+// MultiSink fans one window report to several sinks — e.g. a local
+// subscription server plus a dial-out exporter — behind the runtime's
+// single ResultSink slot.
+type MultiSink []runtime.ResultSink
+
+// Publish forwards to every sink in order.
+func (m MultiSink) Publish(rep *runtime.WindowReport) {
+	for _, s := range m {
+		if s != nil {
+			s.Publish(rep)
+		}
+	}
+}
+
+// AttachFlightRec forwards the probe lookup to every sink that wants it.
+func (m MultiSink) AttachFlightRec(lookup func(qid uint16, level uint8) *flightrec.Probe) {
+	for _, s := range m {
+		if a, ok := s.(runtime.FlightRecAttacher); ok {
+			a.AttachFlightRec(lookup)
+		}
+	}
+}

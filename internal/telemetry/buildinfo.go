@@ -1,0 +1,31 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// RegisterBuildInfo exposes process identity on the registry, following the
+// Prometheus *_info convention: a constant-1 gauge whose labels carry the
+// build facts, plus a collect-time uptime gauge anchored at start. Both
+// binaries call this right after creating their registry, so every scrape
+// states which build produced it.
+//
+//	sonata_build_info{goversion="go1.24.0",version="(devel)"} 1
+//	sonata_process_uptime_seconds 42
+func RegisterBuildInfo(r *Registry, start time.Time) {
+	if r == nil {
+		return
+	}
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	r.Gauge("sonata_build_info",
+		"Constant 1; labels carry the module version and Go toolchain.",
+		"version", version, "goversion", runtime.Version()).Set(1)
+	r.GaugeFunc("sonata_process_uptime_seconds",
+		"Seconds since the process registered its build info.",
+		func() int64 { return int64(time.Since(start).Seconds()) })
+}

@@ -28,7 +28,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		case kindCounter:
 			fmt.Fprintf(w, "%s %d\n", m.name(), m.c.Value())
 		case kindGauge:
-			fmt.Fprintf(w, "%s %d\n", m.name(), m.g.Value())
+			fmt.Fprintf(w, "%s %d\n", m.name(), m.gaugeValue())
 		case kindHistogram:
 			writeHistogram(w, m)
 		}

@@ -14,6 +14,8 @@ var unitSuffixes = []string{"_ns", "_bytes", "_seconds"}
 //
 //   - every family carries the sonata_ prefix;
 //   - counters end in _total, and nothing else does;
+//   - _info families are gauges (the Prometheus info-metric convention:
+//     a constant-1 gauge whose labels carry the facts);
 //   - histograms end in a unit suffix (_ns, _bytes, _seconds);
 //   - every family has non-empty HELP text;
 //   - no two families share the same HELP text (a duplicate almost always
@@ -42,6 +44,10 @@ func (r *Registry) Lint() []string {
 				fmt.Sprintf("%s: HELP text duplicates %s", m.family, prev))
 		} else {
 			helpOf[m.help] = m.family
+		}
+		if strings.HasSuffix(m.family, "_info") && m.kind != kindGauge {
+			problems = append(problems,
+				fmt.Sprintf("%s: _info family must be a gauge", m.family))
 		}
 		switch m.kind {
 		case kindCounter:

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestLabelEscapingGolden pins the text-format output for label values that
@@ -101,6 +102,10 @@ func TestLintRules(t *testing.T) {
 	}), "histogram needs a unit suffix")
 
 	wantProblem(t, lintProblems(func(r *Registry) {
+		r.Histogram("sonata_peer_info", "peer facts", []uint64{1})
+	}), "_info family must be a gauge")
+
+	wantProblem(t, lintProblems(func(r *Registry) {
 		r.Counter("sonata_frames_total", "")
 	}), "empty HELP")
 
@@ -123,6 +128,40 @@ func TestLintClean(t *testing.T) {
 	})
 	if len(problems) != 0 {
 		t.Errorf("clean registry linted dirty: %q", problems)
+	}
+}
+
+// TestBuildInfoLintsAndExports: the build-info and uptime gauges pass the
+// naming lint, render on the Prometheus endpoint with their labels, and the
+// uptime gauge is computed at collect time from the registered start.
+func TestBuildInfoLintsAndExports(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg, time.Now().Add(-90*time.Second))
+	if problems := reg.Lint(); len(problems) != 0 {
+		t.Errorf("build info metrics lint dirty: %q", problems)
+	}
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{"sonata_build_info{", `goversion="go`, "sonata_process_uptime_seconds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+
+	s := reg.Snapshot()
+	var info int64
+	for name, v := range s.Gauges {
+		if strings.HasPrefix(name, "sonata_build_info{") {
+			info = v
+		}
+	}
+	if info != 1 {
+		t.Errorf("sonata_build_info = %d, want constant 1", info)
+	}
+	if up := s.Gauges["sonata_process_uptime_seconds"]; up < 90 {
+		t.Errorf("uptime gauge = %ds for a start 90s ago", up)
 	}
 }
 

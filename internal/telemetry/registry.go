@@ -177,6 +177,17 @@ type metric struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	// gf, when set, computes the gauge's value at collection time instead of
+	// reading the stored atomic (GaugeFunc registrations, e.g. uptime).
+	gf func() int64
+}
+
+// gaugeValue reads a gauge metric, preferring the collect-time function.
+func (m *metric) gaugeValue() int64 {
+	if m.gf != nil {
+		return m.gf()
+	}
+	return m.g.Value()
 }
 
 // name returns the full series name (family plus labels).
@@ -287,6 +298,20 @@ func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 		return nil
 	}
 	return r.register(name, help, kindGauge, labels, func(m *metric) { m.g = &Gauge{} }).g
+}
+
+// GaugeFunc registers a gauge series whose value is computed by fn at every
+// collection (Snapshot, WritePrometheus) instead of being stored — the shape
+// for derived values such as process uptime. Re-registering an existing
+// series re-points it at fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...string) {
+	if r == nil {
+		return
+	}
+	m := r.register(name, help, kindGauge, labels, func(m *metric) { m.g = &Gauge{} })
+	r.mu.Lock()
+	m.gf = fn
+	r.mu.Unlock()
 }
 
 // Histogram registers (or fetches) a histogram series with the given

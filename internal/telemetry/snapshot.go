@@ -32,7 +32,7 @@ func (r *Registry) Snapshot() Snapshot {
 		case kindCounter:
 			s.Counters[m.name()] = m.c.Value()
 		case kindGauge:
-			s.Gauges[m.name()] = m.g.Value()
+			s.Gauges[m.name()] = m.gaugeValue()
 		case kindHistogram:
 			s.Histograms[m.name()] = HistogramValue{
 				Count:   m.h.Count(),

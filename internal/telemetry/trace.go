@@ -15,6 +15,7 @@ const (
 	StageEmitterDecode = "emitter_decode" // register dumps through the emitter
 	StageStreamEval    = "stream_eval"    // stream-processor window close
 	StageFilterUpdate  = "filter_update"  // dynamic-refinement table writes
+	StagePublish       = "publish"        // result fan-out to subscribers
 )
 
 // StageFlightRecEvict is recorded (outside the per-window lifecycle above)
