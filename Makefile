@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-alloc bench-smoke check-metrics check-subscribe
+.PHONY: check fmt vet build test race bench bench-alloc bench-smoke check-metrics check-subscribe check-trace
 
-check: fmt vet build test race check-metrics check-subscribe bench-alloc
+check: fmt vet build test race check-metrics check-subscribe check-trace bench-alloc
 	-@$(MAKE) --no-print-directory bench-smoke
 
 fmt:
@@ -38,6 +38,14 @@ check-metrics:
 # proves a stalled consumer is evicted without delaying window close.
 check-subscribe:
 	$(GO) test -race -run 'TestSubscribe|TestPublishNeverBlocks|TestOnChange|TestSample|TestTargetDefined|TestDialOut' ./internal/subscribe
+
+# Trace-tree gate, under the race detector: the ring/rotation test hammers
+# eight single-writer lanes against concurrent window closes, and the
+# runtime-level differential test proves retained span-tree structure is
+# identical at 1/2/8 workers (plus the latency-triggered retention check).
+check-trace:
+	$(GO) test -race ./internal/tracez
+	$(GO) test -race -run 'TestTraceTree|TestLatencyTriggered' ./internal/runtime
 
 # Gating allocation budget: TestAllocBudget pins each hot path's allocs/op
 # against alloc_budget.json (all zeros since the arena-backed state rewrite);

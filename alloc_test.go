@@ -18,6 +18,7 @@ import (
 	"repro/internal/stream"
 	"repro/internal/subscribe"
 	"repro/internal/telemetry"
+	"repro/internal/tracez"
 	"repro/internal/tuple"
 )
 
@@ -114,6 +115,25 @@ func TestAllocBudget(t *testing.T) {
 		srv.Publish(rep) // warm: grow every circulating frame buffer, fill the queue
 	}
 	check("SubscribePublish", func() { srv.Publish(rep) })
+
+	// Trace recording: an op span started, attributed, and ended on a warm
+	// lane, plus the window-close bookkeeping with retention disabled. Spans
+	// are flat values in preallocated rings, so the steady state records
+	// without touching the heap.
+	tzr := tracez.New(tracez.Options{HeadEvery: -1, MinWindows: 1 << 30})
+	lane := tzr.Lane(1)
+	win := 0
+	record := func() {
+		lane.SetContext(win, 1)
+		sp := lane.Start(tracez.NameOpEval)
+		sp.Instance(1, 32)
+		sp.Attr(tracez.AttrTuplesIn, 17)
+		sp.End()
+		tzr.CloseWindow(win, 1_000_000)
+		win++
+	}
+	record() // warm: lane registration and estimator buckets
+	check("TraceRecord", record)
 }
 
 // allocBudgetReport fabricates a window report with a coarse and a finest

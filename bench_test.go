@@ -44,6 +44,7 @@ import (
 	"repro/internal/stream"
 	"repro/internal/subscribe"
 	"repro/internal/telemetry"
+	"repro/internal/tracez"
 	"repro/internal/tuple"
 )
 
@@ -557,4 +558,57 @@ func BenchmarkEndToEndWindowFlightRec(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) { run(b, nil) })
 	b.Run("on", func(b *testing.B) { run(b, flightrec.New(flightrec.DefaultCapacity, nil)) })
+}
+
+// BenchmarkEndToEndWindowTracez measures the tracer's overhead on the
+// ingest hot path: the identical sequential window replay with tracing
+// detached ("off") and attached ("on", default retention policy).
+// Recording a span is one slot write into a preallocated per-lane ring and
+// closing a window a handful of counter updates, so on/off ns/op should
+// stay within a couple of percent (BENCH_pr8.json records the measurement).
+func BenchmarkEndToEndWindowTracez(b *testing.B) {
+	w := benchWorkload(b)
+	params := eval.ScaledParams(benchScale())
+	qs := queries.TopEight(params)
+	tr, err := planner.Train(qs, []int{8, 16, 24}, w.TrainingFrames())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := planner.PlanQueries(tr, qs, pisa.DefaultConfig(), planner.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := w.Frames(2)
+	var pkts int
+	for _, f := range frames {
+		pkts += len(f)
+	}
+	run := func(b *testing.B, tz *tracez.Tracer) {
+		b.Helper()
+		rt, err := runtime.NewWithOptions(plan, pisa.DefaultConfig(), runtime.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tz != nil {
+			rt.Instrument(nil, tz)
+		}
+		b.SetBytes(int64(pkts))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.ProcessWindow(frames)
+		}
+		b.StopTimer()
+		if tz != nil {
+			st := tz.Stats()
+			if st.Windows != uint64(b.N) {
+				b.Fatalf("tracer closed %d windows, loop ran %d", st.Windows, b.N)
+			}
+			if st.Dropped > 0 {
+				b.Fatalf("tracer dropped %d spans at default ring capacity", st.Dropped)
+			}
+			b.ReportMetric(float64(st.Spans)/float64(b.N), "spans/window")
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, tracez.New(tracez.Options{})) })
 }

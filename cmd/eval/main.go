@@ -34,6 +34,7 @@ import (
 	"repro/internal/queries"
 	"repro/internal/subscribe"
 	"repro/internal/telemetry"
+	"repro/internal/tracez"
 )
 
 func main() {
@@ -63,8 +64,12 @@ func main() {
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterBuildInfo(reg, time.Now())
 	eval.DefaultTelemetry = reg // every deployed runtime registers here
+	tz := tracez.New(tracez.Options{})
+	tz.Instrument(reg)
+	eval.DefaultTracez = tz // /debug/trace follows the live runtime
 	rec := flightrec.New(0, nil)
 	rec.Instrument(reg)
+	rec.AttachTraceIndex(tz.Has)
 	eval.DefaultFlightRec = rec // /debug/queries follows the live runtime
 
 	var subSrv *subscribe.Server
@@ -84,6 +89,7 @@ func main() {
 	if *debugAddr != "" {
 		mux := telemetry.NewDebugMux(reg)
 		mux.Handle("/debug/queries", rec.Handler())
+		mux.Handle("/debug/trace", tz.Handler())
 		if subSrv != nil {
 			mux.Handle("/debug/subscribers", subSrv.Handler())
 		}
@@ -92,7 +98,7 @@ func main() {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "[eval] debug endpoint on http://%s (/metrics, /debug/vars, /debug/pprof/, /debug/queries)\n", addr)
+		fmt.Fprintf(os.Stderr, "[eval] debug endpoint on http://%s (/metrics, /debug/vars, /debug/pprof/, /debug/queries, /debug/trace)\n", addr)
 	}
 
 	var scale eval.Scale

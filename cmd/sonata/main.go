@@ -16,10 +16,14 @@
 //
 // With -debug-addr the process serves live introspection while running:
 // /metrics (Prometheus text format), /debug/vars (expvar), /debug/pprof/,
-// and /debug/queries (the per-query flight recorder; append ?fmt=text for
-// an aligned table). With -trace it appends one JSONL span per window
-// lifecycle stage (trace slice, switch pass, emitter decode, stream eval,
-// filter update) to the given file ("-" for stderr).
+// /debug/queries (the per-query flight recorder; append ?fmt=text for an
+// aligned table), and /debug/trace (the always-on trace buffer: every
+// window builds a span tree — root, lifecycle stages, per-(query, level)
+// op spans with shard attribution — and slow or head-sampled windows are
+// retained; append ?format=text for a waterfall or ?format=chrome for a
+// Perfetto/chrome://tracing file). With -trace it additionally appends one
+// JSONL span per window lifecycle stage (trace slice, switch pass, emitter
+// decode, stream eval, filter update) to the given file ("-" for stderr).
 //
 // With -subscribe-addr the process serves gNMI-style streaming result
 // subscriptions: collectors connect, pick a mode (on-change, sample, or
@@ -55,6 +59,7 @@ import (
 	"repro/internal/subscribe"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/tracez"
 	"repro/internal/tuple"
 )
 
@@ -96,10 +101,11 @@ func main() {
 		fatal(fmt.Errorf("-pcap and -synth are mutually exclusive"))
 	}
 
-	// Observability: the registry and flight recorder always exist
-	// (instrumentation is free when nothing reads it); the endpoint and
-	// tracer are opt-in. The tracer is created first so the recorder's
-	// eviction spans land in the same stream as the window lifecycle.
+	// Observability: the registry, span tracer, and flight recorder always
+	// exist (instrumentation is free when nothing reads it); the endpoints
+	// and the JSONL file exporter are opt-in. The JSONL tracer is created
+	// first so the recorder's eviction spans land in the same stream as the
+	// window lifecycle stages tracez exports.
 	var tracer *telemetry.Tracer
 	if *tracePath != "" {
 		var w io.Writer = os.Stderr
@@ -115,8 +121,18 @@ func main() {
 	}
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterBuildInfo(reg, time.Now())
+	tracer.Instrument(reg)
+	tz := tracez.New(tracez.Options{JSONL: tracer})
+	tz.Instrument(reg)
 	rec := flightrec.New(*frCap, tracer)
 	rec.Instrument(reg)
+	rec.AttachTraceIndex(tz.Has)
+	defer func() {
+		if err := tracer.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "[sonata] trace export: dropped %d spans: %v\n",
+				tracer.Dropped(), err)
+		}
+	}()
 
 	// Result delivery: a subscription server collectors dial into, a
 	// dial-out exporter pushing to a remote collector, or both.
@@ -145,6 +161,7 @@ func main() {
 	if *debugAddr != "" {
 		mux := telemetry.NewDebugMux(reg)
 		mux.Handle("/debug/queries", rec.Handler())
+		mux.Handle("/debug/trace", tz.Handler())
 		if subSrv != nil {
 			mux.Handle("/debug/subscribers", subSrv.Handler())
 		}
@@ -153,7 +170,7 @@ func main() {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "[sonata] debug endpoint on http://%s (/metrics, /debug/vars, /debug/pprof/, /debug/queries)\n", addr)
+		fmt.Fprintf(os.Stderr, "[sonata] debug endpoint on http://%s (/metrics, /debug/vars, /debug/pprof/, /debug/queries, /debug/trace)\n", addr)
 	}
 
 	// Assemble the packet source.
@@ -217,7 +234,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rt.Instrument(reg, tracer)
+	rt.Instrument(reg, tz)
 	rt.AttachFlightRecorder(rec)
 	if len(sinks) > 0 {
 		rt.SetResultSink(sinks)

@@ -75,8 +75,8 @@ func CaseStudy(scale Scale) (*CaseStudyResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if DefaultTelemetry != nil {
-		rt.Instrument(DefaultTelemetry, nil)
+	if DefaultTelemetry != nil || DefaultTracez != nil {
+		rt.Instrument(DefaultTelemetry, DefaultTracez)
 	}
 	if DefaultFlightRec != nil {
 		rt.AttachFlightRecorder(DefaultFlightRec)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/runtime"
 	"repro/internal/telemetry"
+	"repro/internal/tracez"
 )
 
 // DefaultTelemetry, when non-nil, is adopted by every experiment built
@@ -30,6 +31,10 @@ var DefaultResultSink runtime.ResultSink
 // DefaultFlightRec, when non-nil, is attached to every runtime an
 // experiment deploys, so /debug/queries follows whichever run is live.
 var DefaultFlightRec *flightrec.Recorder
+
+// DefaultTracez, when non-nil, collects every deployed runtime's per-window
+// span trees, so /debug/trace follows whichever run is live.
+var DefaultTracez *tracez.Tracer
 
 // RunResult summarizes one (query set, plan mode, switch config) execution
 // over the workload's evaluation windows.
@@ -112,6 +117,9 @@ type Experiment struct {
 	// Sink, when set, receives every deployed runtime's window reports
 	// (subscription fan-out rides along with the evaluation).
 	Sink runtime.ResultSink
+	// Tracez, when set, collects per-window span trees from every runtime
+	// the experiment deploys (cmd/eval's -debug-addr wires it).
+	Tracez *tracez.Tracer
 
 	training *planner.TrainingResult
 }
@@ -120,7 +128,8 @@ type Experiment struct {
 func NewExperiment(w *Workload, qs []*query.Query) *Experiment {
 	return &Experiment{W: w, Queries: qs, Levels: []int{8, 16, 24},
 		Telemetry: DefaultTelemetry, Workers: DefaultWorkers,
-		FlightRec: DefaultFlightRec, Sink: DefaultResultSink}
+		FlightRec: DefaultFlightRec, Sink: DefaultResultSink,
+		Tracez: DefaultTracez}
 }
 
 // Training trains lazily and caches.
@@ -152,8 +161,8 @@ func (e *Experiment) Run(cfg pisa.Config, mode planner.Mode) (*RunResult, error)
 	if err != nil {
 		return nil, err
 	}
-	if e.Telemetry != nil {
-		rt.Instrument(e.Telemetry, nil)
+	if e.Telemetry != nil || e.Tracez != nil {
+		rt.Instrument(e.Telemetry, e.Tracez)
 	}
 	if e.FlightRec != nil {
 		rt.AttachFlightRecorder(e.FlightRec)

@@ -23,6 +23,7 @@
 package flightrec
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -87,6 +88,7 @@ type Probe struct {
 	regUsed     uint64
 	results     uint64
 	evalNS      int64
+	freshNS     int64
 	opInSw      []uint64 // tuples entering each stage on the switch
 	opInSP      []uint64 // tuples entering each stage at the stream processor
 	opOut       []uint64 // emissions of each stage at the stream processor
@@ -180,6 +182,15 @@ func (p *Probe) Eval(results uint64, d time.Duration) {
 	}
 }
 
+// Fresh records the window's freshness watermark: nanoseconds from the
+// window's first frame to publish completion. Called once per window from
+// the close path (main goroutine), like the other boundary accumulators.
+func (p *Probe) Fresh(ns int64) {
+	if p != nil {
+		p.freshNS = ns
+	}
+}
+
 // OpSwitch counts one packet entering the given stage in the data plane.
 func (p *Probe) OpSwitch(stage int) {
 	if p != nil {
@@ -240,6 +251,9 @@ type Record struct {
 	RegUsed        uint64 `json:"reg_used"`
 	RegCapacity    uint64 `json:"reg_capacity"`
 	EvalNS         int64  `json:"eval_ns"`
+	// FreshNS is the freshness watermark: nanoseconds from the window's
+	// first frame to publish completion (0 when the runtime saw no frames).
+	FreshNS int64 `json:"fresh_ns"`
 	// BusyNS is the shard busy time attributed to this instance: the owner
 	// shard's window busy time scaled by the instance's share of the
 	// shard's observed work (0 in sequential mode, which reports no
@@ -274,6 +288,16 @@ type Snapshot struct {
 	Committed uint64 `json:"committed"`
 	Capacity  int    `json:"capacity"`
 	Evicted   uint64 `json:"evicted"`
+	// WindowP50NS/WindowP99NS and FreshP50NS/FreshP99NS are approximate
+	// quantiles of the runtime's window-duration and freshness histograms
+	// (0 when the deployment is uninstrumented or has no samples yet).
+	WindowP50NS int64 `json:"window_p50_ns,omitempty"`
+	WindowP99NS int64 `json:"window_p99_ns,omitempty"`
+	FreshP50NS  int64 `json:"fresh_p50_ns,omitempty"`
+	FreshP99NS  int64 `json:"fresh_p99_ns,omitempty"`
+	// TraceURL points at the latest window's retained trace tree when the
+	// tracer kept one (empty otherwise).
+	TraceURL string `json:"trace_url,omitempty"`
 	// Queries holds the latest window's records in installation order.
 	Queries []Record `json:"queries"`
 	// History holds up to the requested number of older windows, newest
@@ -303,6 +327,14 @@ type Recorder struct {
 	shardWork []uint64
 	mWindows  *telemetry.Counter
 	mEvicts   *telemetry.Counter
+	// windowNS/freshNS are read-side handles to the runtime's histograms
+	// (same registry families; registration returns the existing metric),
+	// powering the snapshot's latency quantiles.
+	windowNS *telemetry.Histogram
+	freshNS  *telemetry.Histogram
+	// traceHas reports whether the trace buffer retained a given window,
+	// wired by AttachTraceIndex; Snapshot cross-links /debug/trace from it.
+	traceHas func(window int) bool
 }
 
 // New returns a recorder retaining capacity windows (DefaultCapacity when
@@ -328,6 +360,27 @@ func (rec *Recorder) Instrument(reg *telemetry.Registry) {
 		"Windows committed to the flight recorder.")
 	rec.mEvicts = reg.Counter("sonata_flightrec_evictions_total",
 		"Ring slots overwritten before any snapshot served them.")
+	// Help strings must match the runtime's registrations byte-for-byte:
+	// the registry hands back the existing series either way around, and
+	// the lint's duplicate-help rule sees each family once.
+	rec.windowNS = reg.Histogram("sonata_runtime_window_ns",
+		"End-to-end wall time per window in nanoseconds.",
+		telemetry.DurationBuckets)
+	rec.freshNS = reg.Histogram("sonata_freshness_ns",
+		"Result freshness per window in nanoseconds: first frame to publish completion.",
+		telemetry.DurationBuckets)
+}
+
+// AttachTraceIndex wires the trace buffer's retention index (typically
+// tracez.Tracer.Has) so snapshots can cross-link /debug/trace for windows
+// whose span tree was kept. Nil detaches.
+func (rec *Recorder) AttachTraceIndex(has func(window int) bool) {
+	if rec == nil {
+		return
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.traceHas = has
 }
 
 // Reset drops all probes and committed windows. The runtime calls it when
@@ -498,6 +551,7 @@ func (rec *Recorder) commitProbe(p *Probe, r *Record, window int, packetsIn uint
 	r.DumpTuples = p.dumpTuples
 	r.RegUsed, r.RegCapacity = p.regUsed, p.regCapacity
 	r.EvalNS = p.evalNS
+	r.FreshNS = p.freshNS
 	r.EstWork, r.ObsWork, r.Drift = p.cfg.EstWork, obs, p.drift
 	r.RefFrom, r.RefKeys, r.RefChanged = p.cfg.RefFrom, p.refKeys, p.refChanged
 	r.CumTuples, r.CumBytes = p.cumTuples, p.cumBytes
@@ -521,7 +575,7 @@ func (rec *Recorder) commitProbe(p *Probe, r *Record, window int, packetsIn uint
 	// Reset the window accumulators; cumulative and static fields persist.
 	p.tuplesToSP, p.mirrored, p.mirrorBytes, p.delivBytes = 0, 0, 0, 0
 	p.collisions, p.dumpTuples, p.regUsed = 0, 0, 0
-	p.results, p.evalNS = 0, 0
+	p.results, p.evalNS, p.freshNS = 0, 0, 0
 	p.refKeys, p.refChanged = 0, false
 	for j := range p.opInSw {
 		p.opInSw[j], p.opInSP[j], p.opOut[j] = 0, 0, 0
@@ -539,6 +593,10 @@ func (rec *Recorder) Snapshot(history int) Snapshot {
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
 	s.Committed, s.Capacity, s.Evicted = rec.commits, rec.capacity, rec.evicted
+	s.WindowP50NS = int64(rec.windowNS.Quantile(0.5))
+	s.WindowP99NS = int64(rec.windowNS.Quantile(0.99))
+	s.FreshP50NS = int64(rec.freshNS.Quantile(0.5))
+	s.FreshP99NS = int64(rec.freshNS.Quantile(0.99))
 	rec.served = rec.commits
 	if rec.commits == 0 {
 		return s
@@ -546,6 +604,9 @@ func (rec *Recorder) Snapshot(history int) Snapshot {
 	latest := &rec.slots[(rec.commits-1)%uint64(rec.capacity)]
 	s.Window = latest.window
 	s.Queries = copyRecords(latest.records)
+	if rec.traceHas != nil && rec.traceHas(s.Window) {
+		s.TraceURL = fmt.Sprintf("/debug/trace?window=%d", s.Window)
+	}
 	if history > rec.capacity-1 {
 		history = rec.capacity - 1
 	}

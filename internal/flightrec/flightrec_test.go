@@ -46,6 +46,58 @@ func TestNilSafety(t *testing.T) {
 	p.OpSwitch(0)
 	p.OpSP(0, 1, 1)
 	p.Refined(1, true)
+	p.Fresh(1)
+	rec.AttachTraceIndex(func(int) bool { return true })
+}
+
+// TestFreshnessAndTraceLink: the freshness watermark lands in the record
+// and resets with the window; snapshots carry latency quantiles and the
+// /debug/trace cross-link when the trace index retained the window.
+func TestFreshnessAndTraceLink(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rec := New(4, nil)
+	rec.Instrument(reg)
+	p := rec.Track(TrackConfig{QID: 1, Stages: testStages()})
+
+	// Simulate what the runtime does per window: observe the histograms it
+	// shares with the recorder, stamp the probe, commit.
+	winNS := reg.Histogram("sonata_runtime_window_ns",
+		"End-to-end wall time per window in nanoseconds.", telemetry.DurationBuckets)
+	freshNS := reg.Histogram("sonata_freshness_ns",
+		"Result freshness per window in nanoseconds: first frame to publish completion.",
+		telemetry.DurationBuckets)
+	winNS.Observe(2_000_000)
+	freshNS.Observe(3_000_000)
+	p.Fresh(3_000_000)
+	rec.Commit(0, 100, nil)
+	rec.AttachTraceIndex(func(w int) bool { return w == 0 })
+
+	s := rec.Snapshot(0)
+	if s.Queries[0].FreshNS != 3_000_000 {
+		t.Errorf("FreshNS = %d, want 3000000", s.Queries[0].FreshNS)
+	}
+	if s.WindowP50NS <= 0 || s.FreshP50NS <= 0 {
+		t.Errorf("quantiles missing: window p50 %d, fresh p50 %d", s.WindowP50NS, s.FreshP50NS)
+	}
+	if s.TraceURL != "/debug/trace?window=0" {
+		t.Errorf("TraceURL = %q, want /debug/trace?window=0", s.TraceURL)
+	}
+	txt := RenderText(&s, false)
+	for _, want := range []string{"FRESH", "3.0ms", "close p50", "trace: /debug/trace?window=0"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("RenderText missing %q:\n%s", want, txt)
+		}
+	}
+
+	// Next window without a Fresh stamp: the accumulator must have reset.
+	rec.Commit(1, 100, nil)
+	s = rec.Snapshot(0)
+	if s.Queries[0].FreshNS != 0 {
+		t.Errorf("FreshNS after reset = %d, want 0", s.Queries[0].FreshNS)
+	}
+	if s.TraceURL != "" {
+		t.Errorf("TraceURL for unretained window = %q, want empty", s.TraceURL)
+	}
 }
 
 // TestRingEviction: an overwritten slot counts as evicted only if no

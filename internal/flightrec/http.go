@@ -47,12 +47,20 @@ func RenderText(s *Snapshot, showOps bool) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "window %d  (%d committed, capacity %d, evicted %d)\n",
 		s.Window, s.Committed, s.Capacity, s.Evicted)
+	if s.WindowP99NS > 0 || s.FreshP99NS > 0 {
+		fmt.Fprintf(&b, "close p50 %s p99 %s   fresh p50 %s p99 %s\n",
+			humanNS(s.WindowP50NS), humanNS(s.WindowP99NS),
+			humanNS(s.FreshP50NS), humanNS(s.FreshP99NS))
+	}
+	if s.TraceURL != "" {
+		fmt.Fprintf(&b, "trace: %s\n", s.TraceURL)
+	}
 	if len(s.Queries) == 0 {
 		b.WriteString("no committed windows\n")
 		return b.String()
 	}
 	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintln(tw, "QID\tLVL\tSHD\tTUPLES\tREDUCE\tMIRROR\tBYTES\tDELIV\tCOLL\tDUMPS\tREG\tEST\tOBS\tDRIFT\tBUSY\tEVAL\tRESULTS\tREFINE\t")
+	fmt.Fprintln(tw, "QID\tLVL\tSHD\tTUPLES\tREDUCE\tMIRROR\tBYTES\tDELIV\tCOLL\tDUMPS\tREG\tEST\tOBS\tDRIFT\tBUSY\tEVAL\tFRESH\tRESULTS\tREFINE\t")
 	for i := range s.Queries {
 		r := &s.Queries[i]
 		reg := "-"
@@ -66,15 +74,15 @@ func RenderText(s *Snapshot, showOps bool) string {
 				ref += "*"
 			}
 		}
-		fmt.Fprintf(tw, "%d\t/%d\t%d\t%d\t%s\t%d\t%s\t%s\t%d\t%d\t%s\t%d\t%d\t%.2f\t%s\t%s\t%d\t%s\t\n",
+		fmt.Fprintf(tw, "%d\t/%d\t%d\t%d\t%s\t%d\t%s\t%s\t%d\t%d\t%s\t%d\t%d\t%.2f\t%s\t%s\t%s\t%d\t%s\t\n",
 			r.QID, r.Level, r.Shard, r.TuplesToSP, humanFactor(r.Reduction),
 			r.Mirrored, humanBytes(r.MirrorBytes), humanBytes(r.DeliveredBytes),
 			r.Collisions, r.DumpTuples,
 			reg, r.EstWork, r.ObsWork, r.Drift,
-			humanNS(r.BusyNS), humanNS(r.EvalNS), r.Results, ref)
+			humanNS(r.BusyNS), humanNS(r.EvalNS), humanNS(r.FreshNS), r.Results, ref)
 		if showOps {
 			for _, op := range r.Ops {
-				fmt.Fprintf(tw, "\t\t\t\t\t\t\t\t\t\t\t\t\t\t\t\t\t%s in=%d out=%d\t\n",
+				fmt.Fprintf(tw, "\t\t\t\t\t\t\t\t\t\t\t\t\t\t\t\t\t\t%s in=%d out=%d\t\n",
 					op.Label, op.In, op.Out)
 			}
 		}
@@ -104,10 +112,12 @@ func RenderTop(prev, cur *Snapshot, elapsedSec float64) string {
 	fmt.Fprintf(&b, "sonata top — window %d   %d pkts -> %d tuples (overall reduction %s)   %s to SP\n",
 		cur.Window, totPkts, totTuples, humanFactor(float64(totPkts)/float64(den)),
 		humanBytes(totBytes))
-	fmt.Fprintf(&b, "windows committed %d   ring %d   evicted %d\n\n",
-		cur.Committed, cur.Capacity, cur.Evicted)
+	fmt.Fprintf(&b, "windows committed %d   ring %d   evicted %d   close p50 %s p99 %s   fresh p50 %s p99 %s\n\n",
+		cur.Committed, cur.Capacity, cur.Evicted,
+		humanNS(cur.WindowP50NS), humanNS(cur.WindowP99NS),
+		humanNS(cur.FreshP50NS), humanNS(cur.FreshP99NS))
 	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintln(tw, "QID\tLVL\tSHD\tTUPLES\tTUP/S\tREDUCE\tREG%\tCOLL\tDRIFT\tBUSY\tREFINE\t")
+	fmt.Fprintln(tw, "QID\tLVL\tSHD\tTUPLES\tTUP/S\tREDUCE\tREG%\tCOLL\tDRIFT\tBUSY\tFRESH\tREFINE\t")
 	prevCum := map[[2]uint16]uint64{}
 	if prev != nil {
 		for i := range prev.Queries {
@@ -133,12 +143,15 @@ func RenderTop(prev, cur *Snapshot, elapsedSec float64) string {
 				ref += "*"
 			}
 		}
-		fmt.Fprintf(tw, "%d\t/%d\t%d\t%d\t%s\t%s\t%s\t%d\t%.2f\t%s\t%s\t\n",
+		fmt.Fprintf(tw, "%d\t/%d\t%d\t%d\t%s\t%s\t%s\t%d\t%.2f\t%s\t%s\t%s\t\n",
 			r.QID, r.Level, r.Shard, r.TuplesToSP, rate,
 			humanFactor(r.Reduction), regPct, r.Collisions, r.Drift,
-			humanNS(r.BusyNS), ref)
+			humanNS(r.BusyNS), humanNS(r.FreshNS), ref)
 	}
 	tw.Flush()
+	if cur.TraceURL != "" {
+		fmt.Fprintf(&b, "\ntrace: %s\n", cur.TraceURL)
+	}
 	return b.String()
 }
 

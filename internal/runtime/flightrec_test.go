@@ -2,6 +2,7 @@ package runtime_test
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/tracez"
 )
 
 // recordCounts renders one committed window's records into a canonical
@@ -259,9 +261,14 @@ func TestMetricsLint(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := telemetry.NewRegistry()
-	rt.Instrument(reg, nil)
+	tracer := telemetry.NewTracer(io.Discard)
+	tracer.Instrument(reg)
+	tz := tracez.New(tracez.Options{JSONL: tracer})
+	tz.Instrument(reg)
+	rt.Instrument(reg, tz)
 	rec := flightrec.New(4, nil)
 	rec.Instrument(reg)
+	rec.AttachTraceIndex(tz.Has)
 	rt.AttachFlightRecorder(rec)
 	rt.ProcessWindow(framesWin(g, 2))
 	for _, problem := range reg.Lint() {

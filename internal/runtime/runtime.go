@@ -20,7 +20,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/query"
 	"repro/internal/stream"
-	"repro/internal/telemetry"
+	"repro/internal/tracez"
 	"repro/internal/tuple"
 )
 
@@ -73,13 +73,24 @@ type FlightRecAttacher interface {
 	AttachFlightRec(lookup func(qid uint16, level uint8) *flightrec.Probe)
 }
 
+// TracezAttacher is implemented by sinks that record their fan-out work as
+// spans in the window's trace tree. Publish runs on the runtime's close
+// path, so the sink records into the orchestration lane; the runtime
+// re-parents the lane to the publish span for the duration of the call.
+type TracezAttacher interface {
+	AttachTracez(r *tracez.Ring)
+}
+
 // SetResultSink installs (or, with nil, removes) the sink that receives each
-// closed window's report. If a flight recorder is already attached and the
-// sink wants probes, they are wired immediately.
+// closed window's report. If a flight recorder or tracer is already attached
+// and the sink wants probes or a span lane, they are wired immediately.
 func (r *Runtime) SetResultSink(sink ResultSink) {
 	r.sink = sink
 	if a, ok := sink.(FlightRecAttacher); ok {
 		a.AttachFlightRec(r.frLookup)
+	}
+	if a, ok := sink.(TracezAttacher); ok && r.lane != nil {
+		a.AttachTracez(r.lane)
 	}
 }
 
@@ -163,14 +174,21 @@ type Runtime struct {
 	// collisionSum tracks cumulative collisions for the re-planning signal.
 	collisionSum uint64
 	packetsSum   uint64
-	// Telemetry: m holds registry handles, tracer records lifecycle spans
-	// (both inert until Instrument). windowStart anchors the window-duration
-	// histogram; lastKeys fingerprints each link's refinement key set for
+	// Telemetry: m holds registry handles (inert until Instrument).
+	// windowStart anchors the window-duration histogram and the freshness
+	// watermark; lastKeys fingerprints each link's refinement key set for
 	// the transition counter.
 	m           runtimeMetrics
-	tracer      *telemetry.Tracer
 	windowStart time.Time
 	lastKeys    map[int]string
+	// Tracing: tz collects every window's span tree (nil when disabled).
+	// lane is the orchestration lane (lane 0) carrying the window root and
+	// lifecycle-stage spans; shard engines write op spans into lanes 1..N.
+	// troot is the open window-root span, rootOpen whether one is open.
+	tz       *tracez.Tracer
+	lane     *tracez.Ring
+	troot    tracez.Active
+	rootOpen bool
 }
 
 type link struct {
@@ -391,7 +409,7 @@ func (r *Runtime) ShardOf(qid uint16, level uint8) int {
 // window, and reports.
 func (r *Runtime) ProcessWindow(frames [][]byte) *WindowReport {
 	r.markWindowStart()
-	sp := r.tracer.Start(r.window, telemetry.StageSwitchPass)
+	sp := r.lane.Start(tracez.NameSwitchPass)
 	if len(r.shards) > 0 {
 		for _, f := range frames {
 			r.processSharded(f)
@@ -401,7 +419,8 @@ func (r *Runtime) ProcessWindow(frames [][]byte) *WindowReport {
 			r.sw.Process(f)
 		}
 	}
-	sp.EndAttrs(map[string]uint64{"frames": uint64(len(frames))})
+	sp.Attr(tracez.AttrFrames, uint64(len(frames)))
+	sp.End()
 	return r.closeWindow()
 }
 
@@ -494,19 +513,34 @@ func (r *Runtime) joinWorkers() {
 	r.running = false
 }
 
-// markWindowStart anchors the window-duration measurement at the first
-// frame of each window.
+// markWindowStart anchors the window-duration measurement and the window
+// root span at the first frame of each window.
 func (r *Runtime) markWindowStart() {
 	if r.windowStart.IsZero() {
 		r.windowStart = time.Now()
 	}
+	r.openRoot()
+}
+
+// openRoot starts the window's root span and re-parents the orchestration
+// lane under it, so every subsequent stage span becomes its child. Inert
+// when tracing is off (nil lane).
+func (r *Runtime) openRoot() {
+	if r.rootOpen {
+		return
+	}
+	r.lane.SetContext(r.window, 0)
+	r.troot = r.lane.Start(tracez.NameWindow)
+	r.lane.SetContext(r.window, r.troot.ID())
+	r.rootOpen = true
 }
 
 // CloseWindow ends the current window explicitly.
 func (r *Runtime) CloseWindow() *WindowReport { return r.closeWindow() }
 
 func (r *Runtime) closeWindow() *WindowReport {
-	ed := r.tracer.Start(r.window, telemetry.StageEmitterDecode)
+	r.openRoot() // zero-frame windows still get a (short) trace tree
+	ed := r.lane.Start(tracez.NameEmitterDecode)
 	var (
 		results   []stream.Result
 		metrics   stream.Metrics
@@ -536,12 +570,18 @@ func (r *Runtime) closeWindow() *WindowReport {
 		dumpCount = len(dumps)
 		stats = st
 	}
-	ed.EndAttrs(map[string]uint64{"dump_tuples": uint64(dumpCount)})
+	ed.Attr(tracez.AttrDumpTuples, uint64(dumpCount))
+	ed.End()
 
-	se := r.tracer.Start(r.window, telemetry.StageStreamEval)
+	se := r.lane.Start(tracez.NameStreamEval)
 	if len(r.shards) > 0 {
 		metrics.PerQuery = make(map[stream.QueryKey]uint64)
 		byKey := make(map[stream.QueryKey]stream.Result, len(r.order))
+		for i := range r.shards {
+			// Op spans recorded during each shard engine's close parent to
+			// this window's stream_eval span.
+			r.tz.Lane(i+1).SetContext(r.window, se.ID())
+		}
 		for _, s := range r.shards {
 			res, m := s.engine.EndWindow()
 			for i := range res {
@@ -561,10 +601,15 @@ func (r *Runtime) closeWindow() *WindowReport {
 			}
 		}
 	} else {
+		// The sequential engine shares the orchestration lane; re-parent it
+		// so its op spans nest under stream_eval rather than the root.
+		r.lane.SetContext(r.window, se.ID())
 		results, metrics = r.engine.EndWindow()
+		r.lane.SetContext(r.window, r.troot.ID())
 		emFrames, emBad = r.em.WindowStats()
 	}
-	se.EndAttrs(map[string]uint64{"tuples_in": metrics.TuplesIn})
+	se.Attr(tracez.AttrTuplesIn, metrics.TuplesIn)
+	se.End()
 	// Register dumps become tuples at the stream processor; count them into
 	// the headline metric like any other delivered tuple.
 	rep := &WindowReport{
@@ -586,7 +631,7 @@ func (r *Runtime) closeWindow() *WindowReport {
 	}
 
 	// Dynamic refinement: level From's results gate level To next window.
-	fu := r.tracer.Start(r.window, telemetry.StageFilterUpdate)
+	fu := r.lane.Start(tracez.NameFilterUpdate)
 	start := time.Now()
 	for li, l := range r.links {
 		keys := r.refinedKeys(results, l)
@@ -616,7 +661,8 @@ func (r *Runtime) closeWindow() *WindowReport {
 		}
 	}
 	rep.UpdateDuration = time.Since(start)
-	fu.EndAttrs(map[string]uint64{"entries": uint64(rep.FilterUpdates)})
+	fu.Attr(tracez.AttrEntries, uint64(rep.FilterUpdates))
+	fu.End()
 
 	// Feed the registry with the same values the report carries.
 	r.m.windows.Inc()
@@ -626,17 +672,38 @@ func (r *Runtime) closeWindow() *WindowReport {
 	r.m.filterUpdateNS.ObserveDuration(rep.UpdateDuration)
 	if !r.windowStart.IsZero() {
 		r.m.windowNS.ObserveDuration(time.Since(r.windowStart))
-		r.windowStart = time.Time{}
 	}
 	// Fan the report out to subscribers before the flight recorder seals the
 	// window, so delivery bytes are attributed to the window they belong to.
 	// Publish must not block (sinks absorb slow consumers in bounded queues).
 	if r.sink != nil {
-		pub := r.tracer.Start(r.window, telemetry.StagePublish)
+		pub := r.lane.Start(tracez.NamePublish)
+		r.lane.SetContext(r.window, pub.ID())
 		pubStart := time.Now()
 		r.sink.Publish(rep)
 		r.m.publishNS.ObserveDuration(time.Since(pubStart))
 		pub.End()
+		r.lane.SetContext(r.window, r.troot.ID())
+	}
+	// Freshness watermark: first frame of the window → results published.
+	// Observed after publish (unlike window_ns, which excludes fan-out) so
+	// it measures what a subscriber experiences.
+	if !r.windowStart.IsZero() {
+		fresh := time.Since(r.windowStart)
+		r.m.freshNS.ObserveDuration(fresh)
+		for _, h := range r.m.freshByQID {
+			h.ObserveDuration(fresh)
+		}
+		for _, p := range r.frProbes {
+			p.Fresh(fresh.Nanoseconds())
+		}
+		r.windowStart = time.Time{}
+	}
+	// Close the window's trace tree; the tracer decides retention from the
+	// root's close latency.
+	if r.rootOpen {
+		r.tz.CloseWindow(r.window, r.troot.End().Nanoseconds())
+		r.rootOpen = false
 	}
 	// Seal the window into the flight recorder with the very values the
 	// report carries (a nil recorder no-ops).

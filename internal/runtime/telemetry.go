@@ -2,9 +2,11 @@ package runtime
 
 import (
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/telemetry"
+	"repro/internal/tracez"
 )
 
 // runtimeMetrics is the orchestration slice of the registry. The
@@ -20,6 +22,11 @@ type runtimeMetrics struct {
 	filterUpdateNS *telemetry.Histogram
 	publishNS      *telemetry.Histogram
 	windowIndex    *telemetry.Gauge
+	// freshNS is the freshness watermark: first frame of a window to
+	// publish completion, the staleness a subscriber observes. freshByQID
+	// carries the same observation per query for `sonata -top`.
+	freshNS    *telemetry.Histogram
+	freshByQID map[uint16]*telemetry.Histogram
 	// packets feeds sonata_switch_packets_total from the sharded fan-out
 	// path, where the runtime parses each frame once and the shard switches
 	// never see Process. The registry hands back the same handle the
@@ -27,23 +34,39 @@ type runtimeMetrics struct {
 	packets *telemetry.Counter
 }
 
+// freshHelp is shared with flightrec, which re-fetches the family to render
+// quantiles; registration returns the existing handle only when help matches
+// first registration, so the string lives in one place per package pair.
+const freshHelp = "Result freshness per window in nanoseconds: first frame to publish completion."
+
 // Instrument registers the whole deployment against reg and attaches the
 // span tracer (either may be nil). It threads the registry through the
 // switch, the emitter, and the stream engine — per shard in sharded mode,
 // where counter series fold into the same totals and the register gauges
-// split per shard — so one call lights up the full pipeline.
-func (r *Runtime) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
-	r.tracer = tr
+// split per shard — so one call lights up the full pipeline. The tracer's
+// lanes are wired the same way: lane 0 carries the orchestration (window
+// root and lifecycle stages), lane i+1 carries shard i's op spans.
+func (r *Runtime) Instrument(reg *telemetry.Registry, tz *tracez.Tracer) {
+	r.tz = tz
+	r.lane = tz.Lane(0)
 	if len(r.shards) > 0 {
 		for i, s := range r.shards {
 			s.sw.InstrumentShard(reg, i)
 			s.engine.Instrument(reg)
+			s.engine.AttachTracez(tz.Lane(i + 1))
 			s.em.Instrument(reg)
 		}
 	} else {
 		r.sw.Instrument(reg)
 		r.engine.Instrument(reg)
+		r.engine.AttachTracez(r.lane)
 		r.em.Instrument(reg)
+	}
+	if a, ok := r.sink.(TracezAttacher); ok && r.lane != nil {
+		a.AttachTracez(r.lane)
+	}
+	if reg == nil {
+		return
 	}
 	r.m = runtimeMetrics{
 		packets: reg.Counter("sonata_switch_packets_total",
@@ -67,6 +90,14 @@ func (r *Runtime) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 			telemetry.DurationBuckets),
 		windowIndex: reg.Gauge("sonata_runtime_window_index",
 			"Index of the most recently closed window."),
+		freshNS: reg.Histogram("sonata_freshness_ns", freshHelp,
+			telemetry.DurationBuckets),
+		freshByQID: make(map[uint16]*telemetry.Histogram, len(r.plan.Queries)),
+	}
+	for _, qp := range r.plan.Queries {
+		qid := qp.Query.ID
+		r.m.freshByQID[qid] = reg.Histogram("sonata_freshness_ns", freshHelp,
+			telemetry.DurationBuckets, "qid", strconv.Itoa(int(qid)))
 	}
 }
 

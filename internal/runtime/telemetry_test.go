@@ -8,6 +8,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/query"
 	"repro/internal/telemetry"
+	"repro/internal/tracez"
 )
 
 // TestRegistryMatchesWindowReports is the consistency contract: after a
@@ -76,10 +77,10 @@ func TestRegistryMatchesWindowReports(t *testing.T) {
 	}
 }
 
-// TestTracerSpansPerWindow runs a few windows with a tracer attached and
-// asserts the lifecycle contract: each processed window emits exactly one
-// span per pipeline stage, with non-zero durations, and the stream round-
-// trips through encoding/json.
+// TestTracerSpansPerWindow runs a few windows with the JSONL exporter
+// attached to the trace buffer and asserts the back-compat contract: each
+// processed window emits exactly one legacy span per pipeline stage, with
+// non-zero durations, and the stream round-trips through encoding/json.
 func TestTracerSpansPerWindow(t *testing.T) {
 	g, train := buildWorkload(t, 4000, 4)
 	qs := []*query.Query{q1(100)}
@@ -91,7 +92,8 @@ func TestTracerSpansPerWindow(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	tracer := telemetry.NewTracer(&buf)
-	rt.Instrument(nil, tracer) // nil registry: tracer works standalone
+	tz := tracez.New(tracez.Options{JSONL: tracer, HeadEvery: -1})
+	rt.Instrument(nil, tz) // nil registry: tracing works standalone
 
 	const nWindows = 3
 	for w := 0; w < nWindows; w++ {

@@ -3,13 +3,13 @@ package stream
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"repro/internal/fields"
 	"repro/internal/flightrec"
 	"repro/internal/packet"
 	"repro/internal/query"
 	"repro/internal/telemetry"
+	"repro/internal/tracez"
 	"repro/internal/tuple"
 )
 
@@ -125,6 +125,10 @@ type Engine struct {
 	// frLookup resolves a (qid, level) instance to its flight-recorder
 	// probe (nil when no recorder is attached).
 	frLookup func(qid uint16, level uint8) *flightrec.Probe
+	// tring is the span lane EndWindow records per-instance op_eval spans
+	// into (nil when tracing is off). The runtime assigns each shard engine
+	// its own lane and sets the lane's parent before the window close.
+	tring *tracez.Ring
 }
 
 // NewEngine returns an engine sharing the given dynamic filter tables with
@@ -199,6 +203,10 @@ func (e *Engine) Install(q *query.Query, level uint8, part Partition) error {
 	e.queries[rq.key] = rq
 	return nil
 }
+
+// AttachTracez assigns the span lane EndWindow records op_eval spans into.
+// A nil ring detaches (recording becomes a no-op).
+func (e *Engine) AttachTracez(r *tracez.Ring) { e.tring = r }
 
 // AttachFlightRec wires the flight recorder's probe lookup into the engine
 // and retro-attaches every already-installed instance. Instances installed
@@ -355,7 +363,8 @@ func (e *Engine) EndWindow() ([]Result, Metrics) {
 	results := make([]Result, 0, len(e.order))
 	for _, key := range e.order {
 		rq := e.queries[key]
-		start := time.Now()
+		sp := e.tring.Start(tracez.NameOpEval)
+		sp.Instance(key.QID, key.Level)
 		res := Result{QID: key.QID, Level: key.Level, Schema: rq.q.FinalSchema()}
 		if rq.q.HasJoin() {
 			e.endJoin(rq, &res)
@@ -363,7 +372,9 @@ func (e *Engine) EndWindow() ([]Result, Metrics) {
 			res.Tuples = rq.left.endWindow()
 		}
 		sortTuples(res.Tuples)
-		elapsed := time.Since(start)
+		sp.Attr(tracez.AttrTuplesIn, e.metrics.PerQuery[key])
+		sp.Attr(tracez.AttrResults, uint64(len(res.Tuples)))
+		elapsed := sp.End()
 		rq.m.evalNS.ObserveDuration(elapsed)
 		e.m.evalNS.ObserveDuration(elapsed)
 		rq.m.results.Add(uint64(len(res.Tuples)))

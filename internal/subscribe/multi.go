@@ -3,6 +3,7 @@ package subscribe
 import (
 	"repro/internal/flightrec"
 	"repro/internal/runtime"
+	"repro/internal/tracez"
 )
 
 // MultiSink fans one window report to several sinks — e.g. a local
@@ -24,6 +25,15 @@ func (m MultiSink) AttachFlightRec(lookup func(qid uint16, level uint8) *flightr
 	for _, s := range m {
 		if a, ok := s.(runtime.FlightRecAttacher); ok {
 			a.AttachFlightRec(lookup)
+		}
+	}
+}
+
+// AttachTracez forwards the runtime's span lane to every sink that wants it.
+func (m MultiSink) AttachTracez(r *tracez.Ring) {
+	for _, s := range m {
+		if a, ok := s.(runtime.TracezAttacher); ok {
+			a.AttachTracez(r)
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
+	"repro/internal/tracez"
 )
 
 // DefaultQueueCap is the per-subscriber send-queue depth when the request
@@ -151,6 +152,10 @@ type Server struct {
 	lookup func(qid uint16, level uint8) *flightrec.Probe
 	m      serverMetrics
 	depth  int // frames currently queued across all subscribers
+	// tring is the span lane Publish records its fan-out span into. Publish
+	// runs on the runtime's close path, so writes are single-threaded with
+	// the runtime's other lane-0 spans (nil when tracing is off).
+	tring *tracez.Ring
 }
 
 // NewServer returns an empty subscription server; wire it with
@@ -205,6 +210,15 @@ func (s *Server) AttachFlightRec(lookup func(qid uint16, level uint8) *flightrec
 	s.mu.Unlock()
 }
 
+// AttachTracez wires the span lane Publish records its subscribe_fanout
+// span into; the runtime forwards its orchestration lane here. A nil ring
+// detaches.
+func (s *Server) AttachTracez(r *tracez.Ring) {
+	s.mu.Lock()
+	s.tring = r
+	s.mu.Unlock()
+}
+
 // Publish fans one closed window out to every subscriber. It is called on
 // the runtime's window-close path and never blocks: each matching update is
 // encoded once into a pooled, refcounted frame and enqueued without copying;
@@ -217,6 +231,14 @@ func (s *Server) Publish(rep *runtime.WindowReport) {
 	if s.closed {
 		return
 	}
+	sp := s.tring.Start(tracez.NameSubscribeFanout)
+	sp.Attr(tracez.AttrSubscribers, uint64(len(s.subs)))
+	defer sp.End()
+	var fanUpdates, fanBytes uint64
+	defer func() {
+		sp.Attr(tracez.AttrUpdates, fanUpdates)
+		sp.Attr(tracez.AttrBytes, fanBytes)
+	}()
 	// rep.Results carries exactly the finest-level outputs; remember each
 	// query's finest level for TargetDefined and level filtering.
 	for i := range rep.Results {
@@ -242,6 +264,7 @@ func (s *Server) Publish(rep *runtime.WindowReport) {
 		changed := f.fp != s.prevFP[key] || !s.seen[key]
 		s.prevFP[key], s.seen[key] = f.fp, true
 		s.m.updates.Inc()
+		fanUpdates++
 
 		// Retain the newest frame per instance for late-joiner initial sync.
 		if old := s.last[key]; old != nil {
@@ -259,9 +282,13 @@ func (s *Server) Publish(rep *runtime.WindowReport) {
 				enqueued++
 			}
 		}
-		if enqueued > 0 && s.lookup != nil {
-			if p := s.lookup(key.QID, key.Level); p != nil {
-				p.Delivered(uint64(enqueued * (len(f.buf) + frameOverhead)))
+		if enqueued > 0 {
+			n := uint64(enqueued * (len(f.buf) + frameOverhead))
+			fanBytes += n
+			if s.lookup != nil {
+				if p := s.lookup(key.QID, key.Level); p != nil {
+					p.Delivered(n)
+				}
 			}
 		}
 		s.releaseLocked(f)

@@ -1,0 +1,55 @@
+package telemetry
+
+// quantileFromBuckets resolves the q-th quantile from cumulative bucket
+// counts (le semantics, +Inf last) over the given finite bounds, with
+// linear interpolation inside the containing bucket. The +Inf bucket
+// clamps to the largest finite bound — the histogram cannot say more.
+func quantileFromBuckets(bounds, cum []uint64, q float64) uint64 {
+	if len(cum) == 0 || cum[len(cum)-1] == 0 {
+		return 0
+	}
+	total := cum[len(cum)-1]
+	target := q * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	for i, c := range cum {
+		if float64(c) < target {
+			continue
+		}
+		if i >= len(bounds) { // +Inf bucket
+			if len(bounds) == 0 {
+				return 0
+			}
+			return bounds[len(bounds)-1]
+		}
+		var lo uint64
+		var below float64
+		if i > 0 {
+			lo = bounds[i-1]
+			below = float64(cum[i-1])
+		}
+		width := float64(bounds[i] - lo)
+		inBucket := float64(c) - below
+		if inBucket <= 0 {
+			return bounds[i]
+		}
+		return lo + uint64(width*(target-below)/inBucket)
+	}
+	return bounds[len(bounds)-1]
+}
+
+// Quantile returns an approximate q-th quantile (0 < q <= 1) of the
+// observed values, interpolated within the histogram's buckets. Nil-safe.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	return quantileFromBuckets(h.bounds, h.Buckets(), q)
+}
+
+// Quantile returns an approximate q-th quantile of a frozen histogram
+// series, interpolated within its buckets.
+func (v HistogramValue) Quantile(q float64) uint64 {
+	return quantileFromBuckets(v.Bounds, v.Buckets, q)
+}

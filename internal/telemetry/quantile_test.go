@@ -1,0 +1,55 @@
+package telemetry
+
+import "testing"
+
+// TestHistogramQuantile checks interpolation against a known distribution,
+// on both the live histogram and its frozen snapshot.
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("sonata_test_q_ns", "Quantile test histogram in nanoseconds.",
+		[]uint64{100, 200, 400, 800})
+
+	// 100 observations uniform in (0, 100]: p50 lands mid-bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(uint64(i))
+	}
+	if got := h.Quantile(0.5); got < 40 || got > 60 {
+		t.Errorf("p50 = %d, want ≈50", got)
+	}
+	if got := h.Quantile(1.0); got != 100 {
+		t.Errorf("p100 = %d, want bucket bound 100", got)
+	}
+
+	// One outlier past every bound clamps to the largest finite bound.
+	h.Observe(10_000)
+	if got := h.Quantile(1.0); got != 800 {
+		t.Errorf("p100 with +Inf outlier = %d, want clamp to 800", got)
+	}
+
+	// Frozen snapshot agrees with the live histogram.
+	snap := reg.Snapshot()
+	hv := snap.Histograms["sonata_test_q_ns"]
+	if live, frozen := h.Quantile(0.99), hv.Quantile(0.99); live != frozen {
+		t.Errorf("live p99 %d != snapshot p99 %d", live, frozen)
+	}
+
+	// Edge cases: nil histogram, empty value.
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile != 0")
+	}
+	if (HistogramValue{}).Quantile(0.5) != 0 {
+		t.Error("empty HistogramValue quantile != 0")
+	}
+
+	// Mass concentrated in one bucket: quantiles stay inside it.
+	reg2 := NewRegistry()
+	h2 := reg2.Histogram("sonata_test_q2_ns", "Second quantile test histogram in nanoseconds.",
+		[]uint64{100, 200})
+	for i := 0; i < 10; i++ {
+		h2.Observe(150)
+	}
+	if got := h2.Quantile(0.5); got <= 100 || got > 200 {
+		t.Errorf("single-bucket p50 = %d, want in (100, 200]", got)
+	}
+}

@@ -36,11 +36,14 @@ type Span struct {
 // Tracer appends spans as JSONL to a writer. It is safe for concurrent use
 // and a nil *Tracer is a no-op, so components can carry one unconditionally.
 type Tracer struct {
-	mu    sync.Mutex
-	w     io.Writer
-	enc   *json.Encoder
-	spans uint64
-	err   error
+	mu       sync.Mutex
+	w        io.Writer
+	enc      *json.Encoder
+	spans    uint64
+	dropped  uint64
+	err      error
+	mSpans   *Counter
+	mDropped *Counter
 }
 
 // NewTracer returns a tracer writing one JSON object per line to w.
@@ -48,17 +51,37 @@ func NewTracer(w io.Writer) *Tracer {
 	return &Tracer{w: w, enc: json.NewEncoder(w)}
 }
 
-// Record writes one span.
+// Instrument exposes the tracer's write counters on reg.
+func (t *Tracer) Instrument(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mSpans = reg.Counter("sonata_trace_spans_total",
+		"Spans successfully written to the JSONL trace exporter.")
+	t.mDropped = reg.Counter("sonata_trace_dropped_total",
+		"Spans dropped by the JSONL trace exporter on write error.")
+}
+
+// Record writes one span. A span that fails to encode counts as dropped,
+// not written.
 func (t *Tracer) Record(s Span) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if err := t.enc.Encode(&s); err != nil && t.err == nil {
-		t.err = err
+	if err := t.enc.Encode(&s); err != nil {
+		if t.err == nil {
+			t.err = err
+		}
+		t.dropped++
+		t.mDropped.Inc()
+		return
 	}
 	t.spans++
+	t.mSpans.Inc()
 }
 
 // Err returns the first write error, if any.
@@ -71,7 +94,7 @@ func (t *Tracer) Err() error {
 	return t.err
 }
 
-// Spans returns the number of spans recorded.
+// Spans returns the number of spans successfully written.
 func (t *Tracer) Spans() uint64 {
 	if t == nil {
 		return 0
@@ -79,6 +102,16 @@ func (t *Tracer) Spans() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.spans
+}
+
+// Dropped returns the number of spans lost to write errors.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // ActiveSpan is a span in progress, returned by Start.

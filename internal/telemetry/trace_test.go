@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -81,6 +82,65 @@ func TestNilTracer(t *testing.T) {
 	tr.Record(Span{})
 	if tr.Err() != nil || tr.Spans() != 0 {
 		t.Error("nil tracer must read as empty")
+	}
+}
+
+// errWriter fails every write after the first n bytes succeed.
+type errWriter struct{ budget int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.budget <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+// TestTracerWriteFailure pins the drop accounting: spans that fail to
+// encode count as dropped, never as written, and the registry counters
+// track both sides.
+func TestTracerWriteFailure(t *testing.T) {
+	tr := NewTracer(&errWriter{budget: 1 << 10})
+	reg := NewRegistry()
+	tr.Instrument(reg)
+
+	var wrote int
+	for i := 0; i < 50; i++ {
+		tr.Record(Span{Window: i, Stage: StageSwitchPass})
+		if tr.Err() == nil {
+			wrote++
+		}
+	}
+	if tr.Err() == nil {
+		t.Fatal("writer never failed; budget too large")
+	}
+	if tr.Spans() != uint64(wrote) {
+		t.Errorf("Spans() = %d, want %d (failed writes must not count)", tr.Spans(), wrote)
+	}
+	if tr.Spans()+tr.Dropped() != 50 {
+		t.Errorf("spans %d + dropped %d != 50 recorded", tr.Spans(), tr.Dropped())
+	}
+	if tr.Dropped() == 0 {
+		t.Error("Dropped() = 0 after write errors")
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("sonata_trace_spans_total"); got != tr.Spans() {
+		t.Errorf("sonata_trace_spans_total = %d, want %d", got, tr.Spans())
+	}
+	if got := snap.Counter("sonata_trace_dropped_total"); got != tr.Dropped() {
+		t.Errorf("sonata_trace_dropped_total = %d, want %d", got, tr.Dropped())
+	}
+	if problems := reg.Lint(); len(problems) != 0 {
+		t.Errorf("lint problems: %v", problems)
+	}
+
+	// Instrument must be nil-safe in both directions.
+	var nilTr *Tracer
+	nilTr.Instrument(reg)
+	tr.Instrument(nil)
+	if nilTr.Dropped() != 0 {
+		t.Error("nil tracer Dropped() != 0")
 	}
 }
 

@@ -1,0 +1,89 @@
+package tracez
+
+// Estimator is a rolling close-latency quantile estimator over geometric
+// buckets: powers of two from 1µs up. Adding a sample is a short linear
+// scan plus one increment; quantiles resolve to a bucket's upper bound,
+// which is exactly the precision retention needs (is this window slower
+// than the p99 band, not by how many nanoseconds). Counts decay by halving
+// once the total passes decayAt, so the estimate tracks the recent regime
+// instead of the whole run.
+//
+// Not safe for concurrent use; the Tracer calls it under its mutex.
+type Estimator struct {
+	bounds []int64  // inclusive upper bounds, ascending
+	counts []uint64 // len(bounds)+1; last is +Inf
+	total  uint64
+}
+
+// estimatorBuckets is the bucket count: 1µs << 24 ≈ 16.8s spans every
+// plausible window close latency.
+const estimatorBuckets = 25
+
+// decayAt is the total at which counts are halved.
+const decayAt = 512
+
+// NewEstimator returns an empty estimator.
+func NewEstimator() *Estimator {
+	e := &Estimator{
+		bounds: make([]int64, estimatorBuckets),
+		counts: make([]uint64, estimatorBuckets+1),
+	}
+	b := int64(1_000) // 1µs
+	for i := range e.bounds {
+		e.bounds[i] = b
+		b <<= 1
+	}
+	return e
+}
+
+// Add records one close latency in nanoseconds.
+func (e *Estimator) Add(ns int64) {
+	i := 0
+	for i < len(e.bounds) && ns > e.bounds[i] {
+		i++
+	}
+	e.counts[i]++
+	e.total++
+	if e.total >= decayAt {
+		e.decay()
+	}
+}
+
+// decay halves every bucket, keeping the distribution's shape while
+// letting old samples age out.
+func (e *Estimator) decay() {
+	var total uint64
+	for i := range e.counts {
+		e.counts[i] /= 2
+		total += e.counts[i]
+	}
+	e.total = total
+}
+
+// Total returns the current (decayed) sample count; the Tracer gates
+// latency retention on it as warm-up.
+func (e *Estimator) Total() uint64 { return e.total }
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 < q <= 1), or 0 with no samples. Values past the last
+// finite bound report twice that bound.
+func (e *Estimator) Quantile(q float64) int64 {
+	if e.total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(e.total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range e.counts {
+		cum += c
+		if cum >= target {
+			if i < len(e.bounds) {
+				return e.bounds[i]
+			}
+			return e.bounds[len(e.bounds)-1] * 2
+		}
+	}
+	return e.bounds[len(e.bounds)-1] * 2
+}

@@ -1,0 +1,85 @@
+package tracez
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentLanesRace is the concurrency contract under -race (`make
+// check-trace`): 8 goroutines hammer Start/Instance/Attr/End on their own
+// lanes while the orchestration goroutine rotates the rings with
+// CloseWindow between windows. The per-window WaitGroup join models the
+// runtime's worker barrier — the happens-before edge the single-writer
+// rings rely on.
+func TestConcurrentLanesRace(t *testing.T) {
+	const (
+		workers      = 8
+		windows      = 50
+		spansPerLane = 200
+		ringCap      = 64 // smaller than spansPerLane: rotation under drops
+	)
+	tz := New(Options{RingCap: ringCap, HeadEvery: 5, MinWindows: 10})
+	orch := tz.Lane(0)
+	lanes := make([]*Ring, workers)
+	for i := range lanes {
+		lanes[i] = tz.Lane(i + 1)
+	}
+
+	for w := 0; w < windows; w++ {
+		orch.SetContext(w, 0)
+		root := orch.Start(NameWindow)
+		orch.SetContext(w, root.ID())
+		se := orch.Start(NameStreamEval)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(lane *Ring) {
+				defer wg.Done()
+				lane.SetContext(w, se.ID())
+				for s := 0; s < spansPerLane; s++ {
+					sp := lane.Start(NameOpEval)
+					sp.Instance(uint16(s%7+1), uint8(s%32))
+					sp.Attr(AttrTuplesIn, uint64(s))
+					sp.End()
+				}
+			}(lanes[i])
+		}
+		wg.Wait()
+		se.End()
+		tz.CloseWindow(w, root.End().Nanoseconds())
+	}
+
+	st := tz.Stats()
+	if st.Windows != windows {
+		t.Fatalf("windows = %d, want %d", st.Windows, windows)
+	}
+	// Every lane fills to capacity each window and drops the rest.
+	wantSpans := uint64(windows * (workers*ringCap + 2))
+	wantDrops := uint64(windows * workers * (spansPerLane - ringCap))
+	if st.Spans != wantSpans || st.Dropped != wantDrops {
+		t.Fatalf("spans/drops = %d/%d, want %d/%d",
+			st.Spans, st.Dropped, wantSpans, wantDrops)
+	}
+	if st.Retained == 0 {
+		t.Fatal("head sampling retained nothing")
+	}
+	// Retained trees must be structurally sound: op spans parent to the
+	// stream_eval span of their window.
+	for _, tr := range tz.Trees() {
+		var seID uint32
+		for i := range tr.Spans {
+			if tr.Spans[i].Name == NameStreamEval {
+				seID = tr.Spans[i].ID
+			}
+		}
+		if seID == 0 {
+			t.Fatalf("window %d tree missing stream_eval span", tr.Window)
+		}
+		for i := range tr.Spans {
+			sp := &tr.Spans[i]
+			if sp.Name == NameOpEval && sp.Parent != seID {
+				t.Fatalf("window %d op span parent %d, want %d", tr.Window, sp.Parent, seID)
+			}
+		}
+	}
+}
