@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-alloc bench-smoke check-metrics check-subscribe check-trace
+.PHONY: check fmt vet build test race bench bench-alloc bench-smoke check-batch check-metrics check-subscribe check-trace
 
-check: fmt vet build test race check-metrics check-subscribe check-trace bench-alloc
+check: fmt vet build test race check-batch check-metrics check-subscribe check-trace bench-alloc
 	-@$(MAKE) --no-print-directory bench-smoke
 
 fmt:
@@ -25,6 +25,18 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem
+
+# Columnar-execution gate: the randomized differential fuzz drives the
+# batched executor against the per-tuple scalar interpreter over generated
+# op chains and adversarial window sizes (empty, all-filtered, exact batch
+# boundaries), the bulk keytab/dyn-table probes against their scalar
+# counterparts, and the full-workload differential proves WindowReports are
+# bit-identical to the scalar oracle sequentially and at 1/2/8 workers.
+check-batch:
+	$(GO) test -run 'TestBatched|TestContainsKeyBatch' ./internal/stream
+	$(GO) test -run 'TestLookupBulk' ./internal/keytab
+	$(GO) test -run 'TestAppendKeyCols' ./internal/tuple
+	$(GO) test -run 'TestShardedMatchesSequential' ./internal/runtime
 
 # Metric-naming lint: instruments a full deployment (runtime + flight
 # recorder) into one registry and runs telemetry.Registry.Lint over every

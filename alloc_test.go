@@ -93,6 +93,33 @@ func TestAllocBudget(t *testing.T) {
 	eng.IngestTuple(1, 0, stream.SideLeft, tvals)
 	check("EngineReduceHit", func() { eng.IngestTuple(1, 0, stream.SideLeft, tvals) })
 
+	// Scalar fallback ingest: the per-tuple interpreter through a tuple-phase
+	// map into a warm reduce key. The map's output row comes from the
+	// executor's per-op scratch, so the classic path is allocation-free too.
+	scEng := allocBudgetMapEngine(t, true)
+	mvals := []tuple.Value{tuple.U64(9), tuple.U64(42), tuple.U64(1)}
+	scEng.IngestTuple(1, 0, stream.SideLeft, mvals)
+	check("EngineScalarIngest", func() { scEng.IngestTuple(1, 0, stream.SideLeft, mvals) })
+
+	// Batched ingest: tuples buffered into the column-major batch and flushed
+	// through filter+map+reduce. Each run crosses a flush boundary (300 rows
+	// against a 256-row batch), so the budget covers both the append path and
+	// the columnar flush with its bitmap, map-buffer, and bulk-probe scratch.
+	bEng := allocBudgetMapEngine(t, false)
+	for w := 0; w < 2; w++ {
+		for i := 0; i < 600; i++ {
+			mvals[0] = tuple.U64(uint64(i % 16))
+			bEng.IngestTuple(1, 0, stream.SideLeft, mvals)
+		}
+		bEng.EndWindow()
+	}
+	check("EngineBatchedIngest", func() {
+		for i := 0; i < 300; i++ {
+			mvals[0] = tuple.U64(uint64(i % 16))
+			bEng.IngestTuple(1, 0, stream.SideLeft, mvals)
+		}
+	})
+
 	// Result delivery: one window published through the subscription server
 	// with a stalled drop-oldest subscriber. Encode-once into pooled frames
 	// plus drop-oldest recycling keeps the publish path allocation-free once
@@ -184,6 +211,26 @@ func allocBudgetSwitch(t testing.TB) *pisa.Switch {
 func allocBudgetEngine(t testing.TB) *stream.Engine {
 	eng := stream.NewEngine(nil)
 	if err := eng.Install(allocBudgetQuery(), 0, stream.Partition{LeftStart: 2}); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// allocBudgetMapEngine installs a chain whose tuple-phase section starts
+// with a map, so ingest exercises the map scratch (scalar) or the columnar
+// map buffers (batched) before folding into the reduce.
+func allocBudgetMapEngine(t testing.TB, scalar bool) *stream.Engine {
+	q := query.NewBuilder("qm", 3*time.Second).
+		Filter(query.Eq(fields.TCPFlags, fields.FlagSYN)).
+		Map(query.F(fields.SrcIP), query.F(fields.DstIP), query.ConstCol(1)).
+		Map(query.C(fields.DstIP), query.ConstCol(1)).
+		Reduce(query.AggSum, fields.DstIP).
+		Filter(query.Gt(fields.AggVal, 1<<40)).
+		MustBuild()
+	q.ID = 1
+	eng := stream.NewEngine(nil)
+	eng.SetScalar(scalar)
+	if err := eng.Install(q, 0, stream.Partition{LeftStart: 2}); err != nil {
 		t.Fatal(err)
 	}
 	return eng

@@ -384,6 +384,17 @@ func BenchmarkEmitterRoundTrip(b *testing.B) {
 	}
 }
 
+// reportSPTuples derives the sp_tuples/s number every end-to-end benchmark
+// (and therefore every BENCH_*.json record) reports through one code path:
+// the registry's delivered-tuple counter over the measured interval — the
+// same series the live /metrics endpoint exports — divided by elapsed
+// wall-clock. Call it after b.StopTimer() with a snapshot diff spanning the
+// timed region.
+func reportSPTuples(b *testing.B, diff telemetry.Snapshot) {
+	b.Helper()
+	b.ReportMetric(float64(diff.Counter("sonata_runtime_tuples_to_sp_total"))/b.Elapsed().Seconds(), "sp_tuples/s")
+}
+
 func BenchmarkEndToEndWindow(b *testing.B) {
 	w := benchWorkload(b)
 	params := eval.ScaledParams(benchScale())
@@ -425,10 +436,7 @@ func BenchmarkEndToEndWindow(b *testing.B) {
 			busyCrit += winMax
 		}
 		b.StopTimer()
-		// Delivered load straight from the registry: the same number the live
-		// /metrics endpoint would report over this interval.
-		diff := reg.Snapshot().Diff(before)
-		b.ReportMetric(float64(diff.Counter("sonata_runtime_tuples_to_sp_total"))/b.Elapsed().Seconds(), "sp_tuples/s")
+		reportSPTuples(b, reg.Snapshot().Diff(before))
 		if busyCrit > 0 {
 			// Achievable speedup from measured shard busy times: total work
 			// over critical path. Wall-clock ns/op only reflects it when the
@@ -497,7 +505,7 @@ func BenchmarkSubscribeFanOut(b *testing.B) {
 		}
 		b.StopTimer()
 		diff := reg.Snapshot().Diff(before)
-		b.ReportMetric(float64(diff.Counter("sonata_runtime_tuples_to_sp_total"))/b.Elapsed().Seconds(), "sp_tuples/s")
+		reportSPTuples(b, diff)
 		b.ReportMetric(float64(diff.Counter("sonata_subscribe_delivered_total"))/b.Elapsed().Seconds(), "delivered/s")
 		// The publish hook is the only part of delivery that runs on the
 		// window-close path; on a single-core host the wall-clock numbers
@@ -543,12 +551,16 @@ func BenchmarkEndToEndWindowFlightRec(b *testing.B) {
 		if rec != nil {
 			rt.AttachFlightRecorder(rec)
 		}
+		reg := telemetry.NewRegistry()
+		rt.Instrument(reg, nil)
 		b.SetBytes(int64(pkts))
+		before := reg.Snapshot()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			rt.ProcessWindow(frames)
 		}
 		b.StopTimer()
+		reportSPTuples(b, reg.Snapshot().Diff(before))
 		if rec != nil {
 			s := rec.Snapshot(0)
 			if s.Window != b.N-1 {
@@ -589,15 +601,16 @@ func BenchmarkEndToEndWindowTracez(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if tz != nil {
-			rt.Instrument(nil, tz)
-		}
+		reg := telemetry.NewRegistry()
+		rt.Instrument(reg, tz)
 		b.SetBytes(int64(pkts))
+		before := reg.Snapshot()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			rt.ProcessWindow(frames)
 		}
 		b.StopTimer()
+		reportSPTuples(b, reg.Snapshot().Diff(before))
 		if tz != nil {
 			st := tz.Stats()
 			if st.Windows != uint64(b.N) {

@@ -78,8 +78,7 @@ func Fig3() *Table {
 			fails := 0
 			for i := 0; i < keys; i++ {
 				kv := []tuple.Value{tuple.U64(r.Uint64())}
-				k := []byte(tuple.Key(kv, []int{0}))
-				if _, _, ok := bank.Update(k, kv, []int{0}, 1, query.AggSum); !ok {
+				if _, _, ok := bank.Update(kv, []int{0}, 1, query.AggSum); !ok {
 					fails++
 				}
 			}

@@ -64,6 +64,20 @@ func (s *Store) Append(key []byte, kvSrc []tuple.Value, kvIdx []int, agg uint64)
 	return len(s.aggs) - 1
 }
 
+// AppendCols is Append with a column-major key-column source: the entry's
+// key columns are cols[kvIdx[j]][row] in order. Used by the batched stream
+// executor, whose tuples live one-slice-per-field.
+func (s *Store) AppendCols(key []byte, cols [][]tuple.Value, kvIdx []int, row int, agg uint64) int {
+	s.arena = append(s.arena, key...)
+	s.keyEnd = append(s.keyEnd, uint32(len(s.arena)))
+	for _, j := range kvIdx {
+		s.vals = append(s.vals, cols[j][row])
+	}
+	s.kvEnd = append(s.kvEnd, uint32(len(s.vals)))
+	s.aggs = append(s.aggs, agg)
+	return len(s.aggs) - 1
+}
+
 // Key returns entry i's key bytes, aliasing the arena.
 func (s *Store) Key(i int) []byte {
 	start := uint32(0)
@@ -165,6 +179,64 @@ func (t *Table) Lookup(key []byte) (int, bool) {
 			return idx, true
 		}
 		i = (i + 1) & mask
+	}
+}
+
+// GetOrInsertCols is GetOrInsert with a column-major key-column source: on a
+// miss the inserted entry's key columns are cols[kvIdx[j]][row]. Hit-path
+// behaviour (and thus entry order) is identical to GetOrInsert with the
+// equivalent row-major tuple.
+func (t *Table) GetOrInsertCols(key []byte, cols [][]tuple.Value, kvIdx []int, row int, agg uint64) (int, bool) {
+	h := tuple.Hash64(key)
+	mask := uint64(t.mask)
+	i := h & mask
+	for {
+		s := t.slots[i]
+		if uint32(s>>32) != t.epoch {
+			idx := t.Store.AppendCols(key, cols, kvIdx, row, agg)
+			t.hashes = append(t.hashes, h)
+			t.slots[i] = uint64(t.epoch)<<32 | uint64(uint32(idx))
+			if uint64(len(t.hashes))*4 > uint64(len(t.slots))*3 {
+				t.grow()
+			}
+			return idx, false
+		}
+		idx := int(uint32(s))
+		if t.hashes[idx] == h && bytes.Equal(t.Store.Key(idx), key) {
+			return idx, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// LookupBulk resolves a batch of concatenated keys in one pass: key i is
+// keys[ends[i-1]:ends[i]] (keys[0:ends[0]] for the first), and idxs[i]
+// receives its entry index or -1 when absent. Amortizing the call and the
+// slot/hash loads across a batch is the fused-probe half of the stream
+// engine's bulk reduce: the caller folds hits and inserts the misses in row
+// order afterwards, preserving first-touch entry order exactly.
+func (t *Table) LookupBulk(keys []byte, ends []uint32, idxs []int32) {
+	mask := uint64(t.mask)
+	epoch := t.epoch
+	start := uint32(0)
+	for ki, end := range ends {
+		key := keys[start:end]
+		start = end
+		h := tuple.Hash64(key)
+		i := h & mask
+		idxs[ki] = -1
+		for {
+			s := t.slots[i]
+			if uint32(s>>32) != epoch {
+				break
+			}
+			idx := int(uint32(s))
+			if t.hashes[idx] == h && bytes.Equal(t.Store.Key(idx), key) {
+				idxs[ki] = int32(idx)
+				break
+			}
+			i = (i + 1) & mask
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package keytab
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -241,4 +242,72 @@ func ExampleTable() {
 	}
 	fmt.Println(tab.Len(), tab.Agg(0))
 	// Output: 1 5
+}
+
+func TestLookupBulkAndColsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	scalar := New()
+	bulk := New()
+	for round := 0; round < 20; round++ {
+		n := rng.Intn(100) + 1
+		// Column-major batch of (key0, key1, payload) rows.
+		cols := [][]tuple.Value{nil, nil, nil}
+		for r := 0; r < n; r++ {
+			cols[0] = append(cols[0], tuple.U64(uint64(rng.Intn(8))))
+			cols[1] = append(cols[1], tuple.Str(fmt.Sprintf("k%d", rng.Intn(4))))
+			cols[2] = append(cols[2], tuple.U64(uint64(rng.Intn(100))))
+		}
+		kvIdx := []int{0, 1}
+		var keys []byte
+		var ends []uint32
+		for r := 0; r < n; r++ {
+			keys = tuple.AppendKeyCols(keys, cols, kvIdx, r)
+			ends = append(ends, uint32(len(keys)))
+		}
+		// Scalar model: row-major GetOrInsert in row order.
+		for r := 0; r < n; r++ {
+			row := []tuple.Value{cols[0][r], cols[1][r], cols[2][r]}
+			k := tuple.AppendKey(nil, row, kvIdx)
+			if idx, ok := scalar.GetOrInsert(k, row, kvIdx, cols[2][r].U); ok {
+				scalar.SetAgg(idx, scalar.Agg(idx)+cols[2][r].U)
+			}
+		}
+		// Bulk path: LookupBulk, then fold hits / insert misses in row order
+		// (re-probing for duplicate-within-batch misses), exactly as the
+		// stream engine's reduceCols does.
+		idxs := make([]int32, n)
+		bulk.LookupBulk(keys, ends, idxs)
+		start := uint32(0)
+		for r := 0; r < n; r++ {
+			k := keys[start:ends[r]]
+			start = ends[r]
+			if i := idxs[r]; i >= 0 {
+				bulk.SetAgg(int(i), bulk.Agg(int(i))+cols[2][r].U)
+				continue
+			}
+			if i, existed := bulk.GetOrInsertCols(k, cols, kvIdx, r, cols[2][r].U); existed {
+				bulk.SetAgg(i, bulk.Agg(i)+cols[2][r].U)
+			}
+		}
+		if scalar.Len() != bulk.Len() {
+			t.Fatalf("round %d: len scalar=%d bulk=%d", round, scalar.Len(), bulk.Len())
+		}
+		for i := 0; i < scalar.Len(); i++ {
+			if !bytes.Equal(scalar.Key(i), bulk.Key(i)) || scalar.Agg(i) != bulk.Agg(i) {
+				t.Fatalf("round %d entry %d: scalar (%x,%d) bulk (%x,%d)", round, i,
+					scalar.Key(i), scalar.Agg(i), bulk.Key(i), bulk.Agg(i))
+			}
+			sv, bv := scalar.KeyVals(i), bulk.KeyVals(i)
+			if len(sv) != len(bv) {
+				t.Fatalf("round %d entry %d: keyvals width differ", round, i)
+			}
+			for j := range sv {
+				if !sv[j].Equal(bv[j]) {
+					t.Fatalf("round %d entry %d col %d: %v != %v", round, i, j, sv[j], bv[j])
+				}
+			}
+		}
+		scalar.Reset()
+		bulk.Reset()
+	}
 }

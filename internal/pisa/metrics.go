@@ -62,7 +62,9 @@ func (sw *Switch) registerCapacity() int64 {
 	var total int64
 	for _, st := range sw.insts {
 		for _, bank := range st.banks {
-			total += int64(bank.Capacity())
+			if bank != nil {
+				total += int64(bank.Capacity())
+			}
 		}
 	}
 	return total
@@ -73,7 +75,9 @@ func (sw *Switch) registerOccupancy() int64 {
 	var total int64
 	for _, st := range sw.insts {
 		for _, bank := range st.banks {
-			total += int64(bank.Stored())
+			if bank != nil {
+				total += int64(bank.Stored())
+			}
 		}
 	}
 	return total

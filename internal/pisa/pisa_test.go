@@ -14,6 +14,13 @@ import (
 	"repro/internal/tuple"
 )
 
+// retainMirror deep-copies a mirror's Vals so a test may keep it past the
+// callback, which the Switch contract otherwise forbids (Vals may alias
+// per-instance scratch reused by the next packet).
+func retainMirror(m Mirror) Mirror {
+	m.Vals = append([]tuple.Value(nil), m.Vals...)
+	return m
+}
 func query1(th uint64) *query.Query {
 	q := query.NewBuilder("q1", time.Second).
 		Filter(query.Eq(fields.TCPFlags, fields.FlagSYN)).
@@ -88,7 +95,7 @@ func TestSwitchRunsQuery1Fully(t *testing.T) {
 	spec := specFor(q, 4, 1024)
 	var mirrors []Mirror
 	sw, err := NewSwitch(DefaultConfig(), &Program{Instances: []*InstanceSpec{spec}},
-		func(m Mirror) { mirrors = append(mirrors, m) })
+		func(m Mirror) { mirrors = append(mirrors, retainMirror(m)) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +133,7 @@ func TestSwitchStatelessCut(t *testing.T) {
 	spec := specFor(q, 2, 0)
 	var mirrors []Mirror
 	sw, err := NewSwitch(DefaultConfig(), &Program{Instances: []*InstanceSpec{spec}},
-		func(m Mirror) { mirrors = append(mirrors, m) })
+		func(m Mirror) { mirrors = append(mirrors, retainMirror(m)) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +225,7 @@ func TestSwitchMidPipelineDistinct(t *testing.T) {
 		StageOf: []int{0, 1, 2, 3, 4, 5}, RegEntries: []int{0, 0, 1024, 0, 0, 1024}}
 	var mirrors []Mirror
 	sw, err := NewSwitch(DefaultConfig(), &Program{Instances: []*InstanceSpec{spec}},
-		func(m Mirror) { mirrors = append(mirrors, m) })
+		func(m Mirror) { mirrors = append(mirrors, retainMirror(m)) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,14 +368,13 @@ func TestProgramValidationConstraints(t *testing.T) {
 func TestRegisterBankBasics(t *testing.T) {
 	b := NewRegisterBank(64, 2)
 	vals := []tuple.Value{tuple.U64(5)}
-	k1 := []byte(tuple.Key(vals, []int{0}))
-	if _, newKey, ok := b.Update(k1, vals, []int{0}, 3, query.AggSum); !ok || !newKey {
+	if _, newKey, ok := b.Update(vals, []int{0}, 3, query.AggSum); !ok || !newKey {
 		t.Fatal("first insert failed")
 	}
-	if v, newKey, ok := b.Update(k1, vals, []int{0}, 4, query.AggSum); !ok || newKey || v != 7 {
+	if v, newKey, ok := b.Update(vals, []int{0}, 4, query.AggSum); !ok || newKey || v != 7 {
 		t.Fatalf("second update: v=%d newKey=%v ok=%v", v, newKey, ok)
 	}
-	if v, ok := b.Lookup(k1); !ok || v != 7 {
+	if v, ok := b.Lookup(vals, []int{0}); !ok || v != 7 {
 		t.Errorf("Lookup = %d, %v", v, ok)
 	}
 	if b.Stored() != 1 {
@@ -381,7 +387,7 @@ func TestRegisterBankBasics(t *testing.T) {
 	if col := b.Reset(); col != 0 {
 		t.Errorf("collisions = %d", col)
 	}
-	if _, ok := b.Lookup(k1); ok {
+	if _, ok := b.Lookup(vals, []int{0}); ok {
 		t.Error("Reset did not clear")
 	}
 }
@@ -398,8 +404,7 @@ func TestCollisionRateMatchesFigure3(t *testing.T) {
 		fails := 0
 		for i := 0; i < keys; i++ {
 			kv := []tuple.Value{tuple.U64(r.Uint64())}
-			k := []byte(tuple.Key(kv, []int{0}))
-			if _, _, ok := b.Update(k, kv, []int{0}, 1, query.AggSum); !ok {
+			if _, _, ok := b.Update(kv, []int{0}, 1, query.AggSum); !ok {
 				fails++
 			}
 		}

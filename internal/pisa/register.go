@@ -1,7 +1,7 @@
 package pisa
 
 import (
-	"bytes"
+	"math/bits"
 
 	"repro/internal/keytab"
 	"repro/internal/query"
@@ -53,32 +53,84 @@ func NewRegisterBank(n, d int) *RegisterBank {
 	return b
 }
 
-// fnv1a hashes key with a seed.
-func fnv1a(seed uint64, key []byte) uint64 {
-	h := seed ^ 14695981039346656037
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= 1099511628211
+// mix64 is a murmur-style avalanche. Each register chain derives its
+// independent index from one shared key hash (tuple.Hash64) mixed with the
+// chain's seed — hashing the key bytes once per update instead of once per
+// chain, which matters because every packet reaching a stateful table pays
+// this cost d times otherwise.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// fastRange maps a full-width hash uniformly onto [0, n) with one multiply
+// (Lemire's fast alternative to modulo) — the per-chain slot index runs for
+// every packet reaching a stateful table, where a hardware divide is
+// measurable.
+func fastRange(h uint64, n int) uint64 {
+	hi, _ := bits.Mul64(h, uint64(n))
+	return hi
+}
+
+// hashVals hashes the selected key columns directly — an FNV-1a-style fold
+// over each value's content — skipping the byte encoding the bank's store
+// used to key on. Hash quality affects only the collision (shunt) rate,
+// never correctness: Update compares full key columns on every hit.
+func hashVals(vals []tuple.Value, keyIdx []int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, i := range keyIdx {
+		v := &vals[i]
+		if v.Str {
+			h = (h ^ uint64(len(v.S))) * 1099511628211
+			for j := 0; j < len(v.S); j++ {
+				h = (h ^ uint64(v.S[j])) * 1099511628211
+			}
+		} else {
+			h = (h ^ v.U) * 1099511628211
+		}
 	}
 	return h
 }
 
-// Update folds v into the slot for key using fn. The boolean reports
-// success; on failure (all d chains collide) the caller shunts the packet
-// to the stream processor. newKey reports first-touch of the key this
-// window — the signal used for one-packet-per-key reporting.
-func (b *RegisterBank) Update(key []byte, vals []tuple.Value, keyIdx []int, v uint64, fn query.AggFunc) (newVal uint64, newKey, ok bool) {
+// equalEntry reports whether stored entry i's key columns equal
+// vals[keyIdx...].
+func (b *RegisterBank) equalEntry(i int, vals []tuple.Value, keyIdx []int) bool {
+	kv := b.store.KeyVals(i)
+	if len(kv) != len(keyIdx) {
+		return false
+	}
+	for j, c := range keyIdx {
+		if !kv[j].Equal(vals[c]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Update folds v into the slot keyed by vals[keyIdx...] using fn. The
+// boolean reports success; on failure (all d chains collide) the caller
+// shunts the packet to the stream processor. newKey reports first-touch of
+// the key this window — the signal used for one-packet-per-key reporting.
+// The key is hashed and compared as values, never encoded to bytes: the
+// per-packet register probe is the hottest loop in the switch model, and
+// every consumer of bank state (dumps, mirrors) wants the columns anyway.
+func (b *RegisterBank) Update(vals []tuple.Value, keyIdx []int, v uint64, fn query.AggFunc) (newVal uint64, newKey, ok bool) {
+	base := hashVals(vals, keyIdx)
 	for c := range b.chains {
-		idx := fnv1a(b.seeds[c], key) % uint64(b.entries)
+		idx := fastRange(mix64(base^b.seeds[c]), b.entries)
 		slot := &b.chains[c][idx]
 		if slot.epoch != b.epoch {
-			// Key bytes and columns are copied into the flat store only on
-			// first insert, keeping the steady-state probe allocation-free.
-			slot.idx = int32(b.store.Append(key, vals, keyIdx, v))
+			// Key columns are copied into the flat store only on first
+			// insert, keeping the steady-state probe allocation-free.
+			slot.idx = int32(b.store.Append(nil, vals, keyIdx, v))
 			slot.epoch = b.epoch
 			return v, true, true
 		}
-		if bytes.Equal(b.store.Key(int(slot.idx)), key) {
+		if b.equalEntry(int(slot.idx), vals, keyIdx) {
 			nv := fn.Apply(b.store.Agg(int(slot.idx)), v)
 			b.store.SetAgg(int(slot.idx), nv)
 			return nv, false, true
@@ -88,12 +140,13 @@ func (b *RegisterBank) Update(key []byte, vals []tuple.Value, keyIdx []int, v ui
 	return 0, false, false
 }
 
-// Lookup returns the current value for key, if stored.
-func (b *RegisterBank) Lookup(key []byte) (uint64, bool) {
+// Lookup returns the current value for the key vals[keyIdx...], if stored.
+func (b *RegisterBank) Lookup(vals []tuple.Value, keyIdx []int) (uint64, bool) {
+	base := hashVals(vals, keyIdx)
 	for c := range b.chains {
-		idx := fnv1a(b.seeds[c], key) % uint64(b.entries)
+		idx := fastRange(mix64(base^b.seeds[c]), b.entries)
 		slot := &b.chains[c][idx]
-		if slot.epoch == b.epoch && bytes.Equal(b.store.Key(int(slot.idx)), key) {
+		if slot.epoch == b.epoch && b.equalEntry(int(slot.idx), vals, keyIdx) {
 			return b.store.Agg(int(slot.idx)), true
 		}
 	}
@@ -105,13 +158,21 @@ func (b *RegisterBank) Lookup(key []byte) (uint64, bool) {
 // iteration it replaces). The returned KeyVals alias the bank's storage:
 // they stay valid through Reset but are overwritten once the next window's
 // first keys arrive, so callers consume or copy them before feeding new
-// traffic — exactly the runtime's window-close sequence.
+// traffic — exactly the runtime's window-close sequence. The per-window
+// dump path iterates Entry directly instead, avoiding this allocation.
 func (b *RegisterBank) Dump() []DumpEntry {
 	out := make([]DumpEntry, b.store.Len())
 	for i := range out {
-		out[i] = DumpEntry{KeyVals: b.store.KeyVals(i), Val: b.store.Agg(i)}
+		out[i] = b.Entry(i)
 	}
 	return out
+}
+
+// Entry returns the i-th stored (key columns, value) pair in insertion
+// order, 0 <= i < Stored(). KeyVals alias the bank's storage with the same
+// lifetime rules as Dump.
+func (b *RegisterBank) Entry(i int) DumpEntry {
+	return DumpEntry{KeyVals: b.store.KeyVals(i), Val: b.store.Agg(i)}
 }
 
 // Reset clears all slots for the next window and returns the collision

@@ -1,11 +1,14 @@
 package pisa
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 
 	"repro/internal/compile"
+	"repro/internal/fields"
 	"repro/internal/flightrec"
 	"repro/internal/packet"
 	"repro/internal/query"
@@ -75,23 +78,34 @@ func (s *WindowStats) Merge(o WindowStats) {
 // dynRuleSet is one immutable generation of a dynamic filter table's
 // entries; UpdateDynTable publishes a fresh set through an atomic pointer
 // (copy-on-write), so the per-packet lookup takes no lock and never sees a
-// half-written table.
-type dynRuleSet = map[string]struct{}
+// half-written table. Numeric keys (tag 'u' + 8 big-endian bytes, the
+// encoding stream.DynKeyFromValue produces for non-string fields) are
+// decoded into nums at publish time so the per-packet lookup skips both the
+// key encoding and the string hash.
+type dynRuleSet struct {
+	strs map[string]struct{}
+	nums map[uint64]struct{}
+}
+
+func (s *dynRuleSet) empty() bool { return len(s.strs) == 0 && len(s.nums) == 0 }
 
 // instState is the runtime state of one installed instance.
 type instState struct {
 	spec  *InstanceSpec
-	banks map[int]*RegisterBank // by table index
+	banks []*RegisterBank // by table index; nil for stateless tables
 	// dynRules holds the dynamic filter entry snapshot per table index
 	// (parallel to spec.Tables up to CutAt; nil until first populated).
 	dynRules []atomic.Pointer[dynRuleSet]
 	entry    compile.SPEntry
-	// valsScratch, keyScratch and dynScratch are per-packet buffers so the
-	// hot path does not allocate; mirrors may alias them (documented:
-	// callers must not retain Vals past the callback).
-	valsScratch []tuple.Value
-	keyScratch  []byte
-	dynScratch  []byte
+	// valsBufs and dynScratch are per-packet buffers so the hot path does
+	// not allocate; mirrors may alias them (documented: callers must not
+	// retain Vals past the callback). valsBufs is a ping-pong pair: every
+	// table that produces a metadata tuple writes the buffer vals does not
+	// currently occupy, so a producer never overwrites the tuple it is
+	// reading.
+	valsBufs   [2][]tuple.Value
+	valsCur    int
+	dynScratch []byte
 	// fr is the instance's flight-recorder probe (nil when detached; nil
 	// probes no-op). frStage[t] is the probe's global stage index for table
 	// t's op, or -1 when an earlier table already counted that op (stateful
@@ -100,6 +114,28 @@ type instState struct {
 	fr      *flightrec.Probe
 	frStage []int
 	frBase  int
+	// screenTables is the number of leading packet-phase filter tables
+	// (static and dynamic) covered by the batch prescreen. screenAtoms
+	// indexes the shared static-clause bitmaps whose AND gates this
+	// instance's entry; screenDyn lists the leading dynamic filter tables,
+	// applied per batch against one rule-set snapshot. Zero when the
+	// instance's first table is not a filter (prescreen not applicable).
+	screenTables int
+	screenAtoms  []int
+	screenDyn    []int
+}
+
+// nextVals returns an n-wide tuple buffer from the instance's ping-pong
+// pair, toggling so the returned buffer is never the one vals currently
+// aliases. Buffers grow monotonically; the steady state allocates nothing.
+func (st *instState) nextVals(n int) []tuple.Value {
+	st.valsCur ^= 1
+	buf := st.valsBufs[st.valsCur]
+	if cap(buf) < n {
+		buf = make([]tuple.Value, n)
+		st.valsBufs[st.valsCur] = buf
+	}
+	return buf[:n]
 }
 
 // packetView pairs a parsed packet with its raw frame so mirrors can carry
@@ -146,9 +182,31 @@ type Switch struct {
 	stats   WindowStats
 	parser  *packet.Parser
 	scratch packet.Packet
+	// dumpScratch is EndWindow's reusable (keys + aggregate) row buffer for
+	// merged threshold filters; dumpBuf is its reusable RegDump slice (the
+	// returned dumps are valid until the next EndWindow).
+	dumpScratch []tuple.Value
+	dumpBuf     []RegDump
 	// tableUpdates counts dynamic filter entry updates (the refinement
 	// overhead micro-benchmark).
 	tableUpdates uint64
+	// Leading-filter prescreen. atoms are the distinct static packet-phase
+	// filter clauses that gate instance entry across the whole program;
+	// ProcessViews evaluates each once per batch into its bitmap in
+	// atomMasks, and every instance ANDs its atoms' masks (into screenComb)
+	// to select the frames that enter its pipeline. A frame thus pays each
+	// distinct predicate once per batch instead of once per instance that
+	// shares it.
+	// Dynamic filters in the leading run are screened per instance: one
+	// rule-set snapshot per batch, probed only for frames still selected.
+	// screenActive reports whether any instance has a screenable prefix;
+	// runnableMask seeds the combined mask when an instance's prefix has
+	// dynamic filters but no static clauses.
+	atoms        []query.Clause
+	atomMasks    [][]uint64
+	screenComb   []uint64
+	runnableMask []uint64
+	screenActive bool
 	// m holds pre-registered telemetry handles; the zero value is the
 	// uninstrumented (free) mode.
 	m switchMetrics
@@ -168,7 +226,7 @@ func NewSwitch(cfg Config, prog *Program, mirror func(Mirror)) (*Switch, error) 
 	// happens at the emitter/stream processor, as in the paper.
 	sw := &Switch{cfg: cfg, mirror: mirror, parser: packet.NewParser(packet.ParserOptions{})}
 	for _, spec := range prog.Instances {
-		st := &instState{spec: spec, banks: make(map[int]*RegisterBank),
+		st := &instState{spec: spec, banks: make([]*RegisterBank, spec.CutAt),
 			dynRules: make([]atomic.Pointer[dynRuleSet], spec.CutAt)}
 		for t := 0; t < spec.CutAt; t++ {
 			tab := &spec.Tables[t]
@@ -184,6 +242,43 @@ func NewSwitch(cfg Config, prog *Program, mirror func(Mirror)) (*Switch, error) 
 		st.entry = cp.EntryFor(spec.CutAt)
 		sw.insts = append(sw.insts, st)
 	}
+	// Collect the prescreen: each instance's leading run of packet-phase
+	// filter tables (no map has run yet, so all are packet-phase). Static
+	// clauses become shared atoms, deduplicated program-wide — instances
+	// installed at several refinement levels share their entry filters, so
+	// the dedup is what buys the win. Dynamic filter tables in the run are
+	// recorded per instance for the snapshot-per-batch screen.
+	atomOf := map[query.Clause]int{}
+	for _, st := range sw.insts {
+		spec := st.spec
+		t := 0
+	scan:
+		for t < spec.CutAt {
+			switch spec.Tables[t].Kind {
+			case compile.TableFilter:
+				o := &spec.Ops[spec.Tables[t].OpIdx]
+				for _, cl := range o.Clauses {
+					idx, ok := atomOf[cl]
+					if !ok {
+						idx = len(sw.atoms)
+						atomOf[cl] = idx
+						sw.atoms = append(sw.atoms, cl)
+					}
+					st.screenAtoms = append(st.screenAtoms, idx)
+				}
+			case compile.TableDynFilter:
+				st.screenDyn = append(st.screenDyn, t)
+			default:
+				break scan
+			}
+			t++
+		}
+		st.screenTables = t
+		if t > 0 {
+			sw.screenActive = true
+		}
+	}
+	sw.atomMasks = make([][]uint64, len(sw.atoms))
 	return sw, nil
 }
 
@@ -202,11 +297,21 @@ func (sw *Switch) UpdateDynTable(qid uint16, level uint8, side Side, opIdx int, 
 		}
 		for t := 0; t < s.CutAt; t++ {
 			if s.Tables[t].Kind == compile.TableDynFilter && s.Tables[t].OpIdx == opIdx {
-				set := make(dynRuleSet, len(keys))
+				set := &dynRuleSet{}
 				for _, k := range keys {
-					set[k] = struct{}{}
+					if len(k) == 9 && k[0] == 'u' {
+						if set.nums == nil {
+							set.nums = make(map[uint64]struct{}, len(keys))
+						}
+						set.nums[binary.BigEndian.Uint64([]byte(k[1:9]))] = struct{}{}
+					} else {
+						if set.strs == nil {
+							set.strs = make(map[string]struct{}, len(keys))
+						}
+						set.strs[k] = struct{}{}
+					}
 				}
-				st.dynRules[t].Store(&set)
+				st.dynRules[t].Store(set)
 				sw.tableUpdates += uint64(len(keys))
 				sw.m.dynUpdates.Add(uint64(len(keys)))
 				return len(keys), nil
@@ -254,7 +359,9 @@ func (sw *Switch) AttachFlightRec(lookup func(qid uint16, level uint8) *flightre
 			st.frStage[t] = st.frBase + op
 		}
 		for _, bank := range st.banks {
-			p.AddRegCapacity(uint64(bank.Capacity()))
+			if bank != nil {
+				p.AddRegCapacity(uint64(bank.Capacity()))
+			}
 		}
 	}
 }
@@ -274,7 +381,7 @@ func (sw *Switch) Process(frame []byte) int {
 	view := packetView{pkt: &sw.scratch, frame: frame, clean: err == nil}
 	reports := 0
 	for _, st := range sw.insts {
-		if sw.processInstance(st, &view) {
+		if sw.processInstance(st, &view, 0) {
 			reports++
 		}
 	}
@@ -293,16 +400,160 @@ func (sw *Switch) ProcessView(v *View) int {
 	view := packetView{pkt: &v.Pkt, frame: v.Frame, clean: v.clean}
 	reports := 0
 	for _, st := range sw.insts {
-		if sw.processInstance(st, &view) {
+		if sw.processInstance(st, &view, 0) {
 			reports++
 		}
 	}
 	return reports
 }
 
-// processInstance walks one instance's switch-side tables. It returns true
-// if a mirror report was emitted.
-func (sw *Switch) processInstance(st *instState, pkt *packetView) bool {
+// ProcessViews runs a batch of already-parsed frames through every installed
+// instance, instance-major: the outer loop walks instances, the inner one
+// frames, so one instance's tables, register banks, and dynamic rule
+// snapshots stay hot in cache across the whole batch. Before the instance
+// loop, each distinct leading filter clause ("atom") is evaluated once over
+// the batch into a selection bitmap; an instance whose entry is guarded by
+// such filters ANDs its atoms' bitmaps and walks only the surviving frames,
+// entering its pipeline past the prescreened tables. Per-instance frame
+// order is unchanged from view-at-a-time processing, and prescreened
+// rejection has exactly the side effects of a scalar first-filter
+// rejection (none) — only the interleaving across instances differs, which
+// no per-instance state observes — so window results are bit-identical to
+// calling ProcessView per view. Like ProcessView it does not count
+// PacketsIn and skips non-Runnable views. Instances with a flight-recorder
+// probe attached take the unscreened walk so per-stage funnel counts keep
+// their exact per-packet semantics.
+func (sw *Switch) ProcessViews(vs []View) int {
+	reports := 0
+	screened := sw.screenActive && len(vs) > 0
+	if screened {
+		sw.evalScreen(vs)
+	}
+	for _, st := range sw.insts {
+		if screened && st.screenTables > 0 && st.fr == nil {
+			comb := sw.screenComb
+			if len(st.screenAtoms) > 0 {
+				copy(comb, sw.atomMasks[st.screenAtoms[0]])
+				for _, a := range st.screenAtoms[1:] {
+					m := sw.atomMasks[a]
+					for w := range comb {
+						comb[w] &= m[w]
+					}
+				}
+			} else {
+				copy(comb, sw.runnableMask)
+			}
+			idle := false
+			for _, t := range st.screenDyn {
+				if !sw.applyDynScreen(st, t, vs, comb) {
+					idle = true
+					break
+				}
+			}
+			if idle {
+				continue // unpopulated dynamic filter: no frame enters
+			}
+			for w, word := range comb {
+				for b := word; b != 0; b &= b - 1 {
+					v := &vs[w<<6|bits.TrailingZeros64(b)]
+					view := packetView{pkt: &v.Pkt, frame: v.Frame, clean: v.clean}
+					if sw.processInstance(st, &view, st.screenTables) {
+						reports++
+					}
+				}
+			}
+			continue
+		}
+		for i := range vs {
+			v := &vs[i]
+			if !v.Runnable {
+				continue
+			}
+			view := packetView{pkt: &v.Pkt, frame: v.Frame, clean: v.clean}
+			if sw.processInstance(st, &view, 0) {
+				reports++
+			}
+		}
+	}
+	return reports
+}
+
+// evalScreen fills the batch's runnable bitmap and one bitmap per prescreen
+// atom: bit i is set when view i is runnable (and matches the clause). Mask
+// storage is reused across batches and grows monotonically.
+func (sw *Switch) evalScreen(vs []View) {
+	words := (len(vs) + 63) >> 6
+	if cap(sw.screenComb) < words {
+		sw.screenComb = make([]uint64, words)
+		sw.runnableMask = make([]uint64, words)
+		for a := range sw.atomMasks {
+			sw.atomMasks[a] = make([]uint64, words)
+		}
+	}
+	sw.screenComb = sw.screenComb[:words]
+	run := sw.runnableMask[:words]
+	for w := range run {
+		run[w] = 0
+	}
+	for i := range vs {
+		if vs[i].Runnable {
+			run[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	sw.runnableMask = run
+	for a := range sw.atoms {
+		cl := &sw.atoms[a]
+		mask := sw.atomMasks[a][:words]
+		for w := range mask {
+			mask[w] = 0
+		}
+		for i := range vs {
+			v := &vs[i]
+			if v.Runnable && cl.MatchPacket(&v.Pkt) {
+				mask[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		sw.atomMasks[a] = mask
+	}
+}
+
+// applyDynScreen narrows comb to the frames whose masked key is in table
+// t's dynamic rule set, loading the copy-on-write snapshot once for the
+// whole batch (rule updates happen between batches — at window close — so
+// one snapshot per batch observes every update a per-packet load would).
+// Returns false when the set is empty or unpublished, meaning the instance
+// is idle and the whole batch is rejected.
+func (sw *Switch) applyDynScreen(st *instState, t int, vs []View, comb []uint64) bool {
+	rp := st.dynRules[t].Load()
+	if rp == nil || rp.empty() {
+		return false
+	}
+	o := &st.spec.Ops[st.spec.Tables[t].OpIdx]
+	for w, word := range comb {
+		for b := word; b != 0; b &= b - 1 {
+			i := w<<6 | bits.TrailingZeros64(b)
+			v, ok := vs[i].Pkt.Field(o.DynKeyField)
+			if ok {
+				if !v.Str {
+					_, ok = rp.nums[fields.TruncateU64(o.DynKeyField, v.U, o.DynLevel)]
+				} else {
+					st.dynScratch = stream.AppendDynKey(st.dynScratch[:0], o.DynKeyField, v, o.DynLevel)
+					_, ok = rp.strs[string(st.dynScratch)]
+				}
+			}
+			if !ok {
+				comb[w] &^= 1 << uint(i&63)
+			}
+		}
+	}
+	return true
+}
+
+// processInstance walks one instance's switch-side tables starting at table
+// index from (non-zero only on the prescreened batch path, where the
+// leading filter tables already passed). It returns true if a mirror report
+// was emitted.
+func (sw *Switch) processInstance(st *instState, pkt *packetView, from int) bool {
 	spec := st.spec
 	if spec.CutAt == 0 {
 		// Nothing on the switch: mirror every packet (the All-SP plan).
@@ -318,7 +569,7 @@ func (sw *Switch) processInstance(st *instState, pkt *packetView) bool {
 	var vals []tuple.Value // metadata tuple once past the first map
 	inTuplePhase := false
 
-	for t := 0; t < spec.CutAt; t++ {
+	for t := from; t < spec.CutAt; t++ {
 		tab := &spec.Tables[t]
 		o := &spec.Ops[tab.OpIdx]
 		if st.fr != nil && st.frStage[t] >= 0 {
@@ -341,57 +592,57 @@ func (sw *Switch) processInstance(st *instState, pkt *packetView) bool {
 			}
 		case compile.TableDynFilter:
 			rp := st.dynRules[t].Load()
-			if rp == nil || len(*rp) == 0 {
+			if rp == nil || rp.empty() {
 				return false // not yet populated: finer level idle
 			}
 			v, ok := pkt.pkt.Field(o.DynKeyField)
 			if !ok {
 				return false
 			}
+			if !v.Str {
+				// Numeric fast path: mask in registers and probe the decoded
+				// set directly, skipping the key encoding and string hash.
+				masked := fields.TruncateU64(o.DynKeyField, v.U, o.DynLevel)
+				if _, ok := rp.nums[masked]; !ok {
+					return false
+				}
+				break
+			}
 			// Build the masked key into the per-instance scratch; the map
 			// index's string conversion does not escape, so the lookup is
 			// allocation-free.
 			st.dynScratch = stream.AppendDynKey(st.dynScratch[:0], o.DynKeyField, v, o.DynLevel)
-			if _, ok := (*rp)[string(st.dynScratch)]; !ok {
+			if _, ok := rp.strs[string(st.dynScratch)]; !ok {
 				return false
 			}
 		case compile.TableMap:
-			out := st.valsScratch[:0]
-			if cap(out) < len(o.Cols) {
-				out = make([]tuple.Value, 0, 8)
-			}
+			// Toggled buffer: vals (if set) occupies the other one, so a
+			// tuple-phase map never writes the tuple it is reading.
+			out := st.nextVals(len(o.Cols))
 			if inTuplePhase {
-				// Tuple-phase maps may read vals while writing out; vals
-				// currently aliases the scratch only before the first map,
-				// so a fresh slice is needed when re-mapping.
-				fresh := make([]tuple.Value, len(o.Cols))
 				for i := range o.Cols {
-					fresh[i] = o.Cols[i].Expr.EvalTuple(vals)
+					out[i] = o.Cols[i].Expr.EvalTuple(vals)
 				}
-				vals = fresh
 			} else {
 				for i := range o.Cols {
 					v, ok := o.Cols[i].Expr.EvalPacket(pkt.pkt)
 					if !ok {
 						return false
 					}
-					out = append(out, v)
+					out[i] = v
 				}
-				st.valsScratch = out[:0]
-				vals = out
 			}
+			vals = out
 			inTuplePhase = true
 		case compile.TableHashIndex:
 			// Index computation is folded into the bank update below.
 		case compile.TableStateUpdate:
 			bank := st.banks[t]
-			st.keyScratch = tuple.AppendKey(st.keyScratch[:0], vals, o.KeyCols)
-			key := st.keyScratch
 			var inc uint64 = 1
 			if o.Kind == query.OpReduce {
 				inc = vals[o.ValCol].U
 			}
-			newVal, newKey, ok := bank.Update(key, vals, o.KeyCols, inc, statefulFunc(o))
+			newVal, newKey, ok := bank.Update(vals, o.KeyCols, inc, statefulFunc(o))
 			if !ok {
 				// Collision overflow: shunt to the stream processor, which
 				// executes the stateful op itself for this packet.
@@ -421,13 +672,17 @@ func (sw *Switch) processInstance(st *instState, pkt *packetView) bool {
 				if !newKey {
 					return false
 				}
-				vals = pickIdx(vals, o.KeyCols)
-			} else {
-				next := make([]tuple.Value, 0, len(o.KeyCols)+1)
-				for _, j := range o.KeyCols {
-					next = append(next, vals[j])
+				next := st.nextVals(len(o.KeyCols))
+				for i, j := range o.KeyCols {
+					next[i] = vals[j]
 				}
-				next = append(next, tuple.U64(newVal))
+				vals = next
+			} else {
+				next := st.nextVals(len(o.KeyCols) + 1)
+				for i, j := range o.KeyCols {
+					next[i] = vals[j]
+				}
+				next[len(o.KeyCols)] = tuple.U64(newVal)
 				vals = next
 			}
 			if m := tab.MergedFilterOp; m >= 0 {
@@ -477,10 +732,14 @@ func statefulFunc(o *query.Op) query.AggFunc {
 
 // EndWindow dumps and resets every register bank, returning the aggregated
 // tuples (filtered by any merged threshold) and the closing window's stats.
+// The returned slice (and the KeyVals its entries alias) is reused: it is
+// valid until the next EndWindow, and its key columns are overwritten once
+// the next window's first keys arrive — callers consume or copy before
+// feeding new traffic, exactly the runtime's window-close sequence.
 func (sw *Switch) EndWindow() ([]RegDump, WindowStats) {
 	// Occupancy peaks at the window boundary; sample it before the reset.
 	sw.m.regUsed.Set(sw.registerOccupancy())
-	var dumps []RegDump
+	dumps := sw.dumpBuf[:0]
 	for _, st := range sw.insts {
 		spec := st.spec
 		for t := 0; t < spec.CutAt; t++ {
@@ -491,12 +750,13 @@ func (sw *Switch) EndWindow() ([]RegDump, WindowStats) {
 			tab := &spec.Tables[t]
 			last := t == spec.CutAt-1
 			if last {
-				for _, e := range bank.Dump() {
+				for i, n := 0, bank.Stored(); i < n; i++ {
+					e := bank.Entry(i)
 					if m := tab.MergedFilterOp; m >= 0 {
 						if st.fr != nil {
 							st.fr.OpSwitch(st.frBase + m)
 						}
-						if !dumpPasses(&spec.Ops[m], e) {
+						if !sw.dumpPasses(&spec.Ops[m], e) {
 							continue
 						}
 					}
@@ -509,6 +769,7 @@ func (sw *Switch) EndWindow() ([]RegDump, WindowStats) {
 			bank.Reset()
 		}
 	}
+	sw.dumpBuf = dumps
 	sw.stats.DumpTuples = uint64(len(dumps))
 	sw.m.dumpTuples.Add(sw.stats.DumpTuples)
 	stats := sw.stats
@@ -517,23 +778,17 @@ func (sw *Switch) EndWindow() ([]RegDump, WindowStats) {
 }
 
 // dumpPasses applies a merged threshold filter to a dump entry. The filter
-// compares the aggregate column, which sits after the keys.
-func dumpPasses(o *query.Op, e DumpEntry) bool {
-	vals := make([]tuple.Value, 0, len(e.KeyVals)+1)
-	vals = append(vals, e.KeyVals...)
+// compares the aggregate column, which sits after the keys; the row is
+// assembled in a switch-level scratch so a full-register dump does not
+// allocate per entry.
+func (sw *Switch) dumpPasses(o *query.Op, e DumpEntry) bool {
+	vals := append(sw.dumpScratch[:0], e.KeyVals...)
 	vals = append(vals, tuple.U64(e.Val))
+	sw.dumpScratch = vals[:0]
 	for i := range o.Clauses {
 		if !o.Clauses[i].MatchTuple(vals) {
 			return false
 		}
 	}
 	return true
-}
-
-func pickIdx(vals []tuple.Value, idx []int) []tuple.Value {
-	out := make([]tuple.Value, len(idx))
-	for i, j := range idx {
-		out[i] = vals[j]
-	}
-	return out
 }

@@ -3,6 +3,7 @@ package planner
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/compile"
@@ -265,6 +266,25 @@ func (s *selector) filterDPCandidate(qt *QueryTraining) candidate {
 func (s *selector) pathCandidates(qt *QueryTraining, paths [][]int) []candidate {
 	var out []candidate
 	seen := map[string]bool{}
+	// Dedup signature: decimal-rendered path and cuts with separators. Built
+	// by hand because this runs inside the per-window refinement loop, where
+	// reflection-based formatting showed up in end-to-end profiles.
+	var sigBuf []byte
+	sig := func(c *candidate) []byte {
+		sigBuf = sigBuf[:0]
+		for _, p := range c.path {
+			sigBuf = strconv.AppendInt(sigBuf, int64(p), 10)
+			sigBuf = append(sigBuf, ',')
+		}
+		sigBuf = append(sigBuf, '|')
+		for _, t := range c.cuts {
+			sigBuf = strconv.AppendInt(sigBuf, int64(t[0]), 10)
+			sigBuf = append(sigBuf, ':')
+			sigBuf = strconv.AppendInt(sigBuf, int64(t[1]), 10)
+			sigBuf = append(sigBuf, ',')
+		}
+		return sigBuf
+	}
 	for _, path := range paths {
 		tiers := make([][][2]int, len(path))
 		prev := LevelStar
@@ -280,9 +300,8 @@ func (s *selector) pathCandidates(qt *QueryTraining, paths [][]int) []candidate 
 			if i == len(path) {
 				c := candidate{path: path, cuts: append([][2]int(nil), cuts...)}
 				c.cost = s.pathCost(qt, c)
-				sig := fmt.Sprint(c.path, c.cuts)
-				if !seen[sig] {
-					seen[sig] = true
+				if key := sig(&c); !seen[string(key)] {
+					seen[string(key)] = true
 					out = append(out, c)
 				}
 				return

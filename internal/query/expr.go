@@ -99,8 +99,10 @@ type Clause struct {
 	Mask uint64
 }
 
-// matchValue applies the clause to an extracted value.
-func (cl *Clause) matchValue(v tuple.Value) bool {
+// MatchValue applies the clause to an extracted value. It is the shared
+// core of MatchPacket/MatchTuple, exported for the stream engine's batched
+// filter path, which tests one column's values against a selection bitmap.
+func (cl *Clause) MatchValue(v tuple.Value) bool {
 	switch cl.Cmp {
 	case CmpContains:
 		return v.Str && strings.Contains(v.S, cl.Arg.S)
@@ -129,12 +131,12 @@ func (cl *Clause) MatchPacket(p *packet.Packet) bool {
 	if !ok {
 		return false
 	}
-	return cl.matchValue(v)
+	return cl.MatchValue(v)
 }
 
 // MatchTuple evaluates a tuple-phase clause against positional values.
 func (cl *Clause) MatchTuple(vals []tuple.Value) bool {
-	return cl.matchValue(vals[cl.Col])
+	return cl.MatchValue(vals[cl.Col])
 }
 
 // String renders the clause in the paper's surface syntax.
@@ -231,6 +233,55 @@ func (e *Expr) EvalTuple(vals []tuple.Value) tuple.Value {
 			return tuple.U64(0)
 		}
 		return tuple.U64(a - b)
+	default:
+		panic(fmt.Sprintf("query: expression kind %d in tuple phase", e.Kind))
+	}
+}
+
+// EvalTupleCols evaluates a tuple-phase expression column-at-a-time over a
+// column-major batch: rows [0, n) of cols, writing row r's value to out[r].
+// Every tuple-phase expression kind is a total function of its inputs, so
+// the loop is branch-free over rows and may legitimately evaluate rows a
+// filter already deselected — the batched engine ignores those outputs via
+// its selection bitmap. Results are value-identical to EvalTuple on the
+// equivalent row-major tuples.
+func (e *Expr) EvalTupleCols(cols [][]tuple.Value, n int, out []tuple.Value) {
+	switch e.Kind {
+	case ExprCol:
+		copy(out[:n], cols[e.Col][:n])
+	case ExprConst:
+		v := tuple.U64(e.Const)
+		for r := 0; r < n; r++ {
+			out[r] = v
+		}
+	case ExprMask:
+		e.Sub.EvalTupleCols(cols, n, out)
+		for r := 0; r < n; r++ {
+			out[r] = MaskValue(e.Field, out[r], e.Level)
+		}
+	case ExprShiftRound:
+		e.Sub.EvalTupleCols(cols, n, out)
+		for r := 0; r < n; r++ {
+			out[r] = tuple.U64(out[r].U >> e.Shift)
+		}
+	case ExprRatio:
+		num, den := cols[e.Col], cols[e.ColB]
+		for r := 0; r < n; r++ {
+			if d := den[r].U; d != 0 {
+				out[r] = tuple.U64(num[r].U * e.Const / d)
+			} else {
+				out[r] = tuple.U64(0)
+			}
+		}
+	case ExprDiff:
+		a, b := cols[e.Col], cols[e.ColB]
+		for r := 0; r < n; r++ {
+			if av, bv := a[r].U, b[r].U; bv <= av {
+				out[r] = tuple.U64(av - bv)
+			} else {
+				out[r] = tuple.U64(0)
+			}
+		}
 	default:
 		panic(fmt.Sprintf("query: expression kind %d in tuple phase", e.Kind))
 	}

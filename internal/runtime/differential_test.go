@@ -15,11 +15,15 @@ import (
 	"repro/internal/tuple"
 )
 
-// TestShardedMatchesSequential is the correctness contract of the sharded
-// pipeline: over the full evaluation workload (background traffic plus the
-// standard attack suite, all eleven queries), every window report produced
-// with workers > 1 must be identical to the sequential runtime's — results,
+// TestShardedMatchesSequential is the correctness contract of the batched
+// and sharded pipelines: over the full evaluation workload (background
+// traffic plus the standard attack suite, all eleven queries), every window
+// report must be identical to the scalar per-tuple oracle's — results,
 // tuple counts, switch counters, filter updates, and emitter volume alike.
+// The oracle (Options.Scalar, workers 0) is byte-for-byte the classic
+// frame-at-a-time, tuple-at-a-time interpreter; against it run the batched
+// sequential runtime and 1/2/8-worker sharded runtimes (whose engines use
+// the columnar batched executor).
 func TestShardedMatchesSequential(t *testing.T) {
 	scale := eval.SmallScale()
 	w, err := eval.NewWorkload(scale)
@@ -37,13 +41,13 @@ func TestShardedMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	run := func(workers int) []string {
-		rt, err := runtime.NewWithOptions(plan, cfg, runtime.Options{Workers: workers})
+	run := func(opts runtime.Options) []string {
+		rt, err := runtime.NewWithOptions(plan, cfg, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if workers > 1 && rt.Workers() < 2 {
-			t.Fatalf("workers=%d built a %d-shard runtime", workers, rt.Workers())
+		if opts.Workers > 1 && rt.Workers() < 2 {
+			t.Fatalf("workers=%d built a %d-shard runtime", opts.Workers, rt.Workers())
 		}
 		snaps := make([]string, 0, w.Gen.Windows())
 		for i := 0; i < w.Gen.Windows(); i++ {
@@ -52,13 +56,23 @@ func TestShardedMatchesSequential(t *testing.T) {
 		return snaps
 	}
 
-	want := run(0) // sequential baseline
-	for _, workers := range []int{1, 2, 8} {
-		got := run(workers)
+	want := run(runtime.Options{Scalar: true}) // per-tuple oracle
+	modes := []struct {
+		name string
+		opts runtime.Options
+	}{
+		{"batched-sequential", runtime.Options{}},
+		{"workers=1", runtime.Options{Workers: 1}},
+		{"workers=2", runtime.Options{Workers: 2}},
+		{"workers=8", runtime.Options{Workers: 8}},
+		{"workers=2-scalar", runtime.Options{Workers: 2, Scalar: true}},
+	}
+	for _, mode := range modes {
+		got := run(mode.opts)
 		for i := range want {
 			if got[i] != want[i] {
-				t.Errorf("workers=%d window %d diverged from sequential:\n--- sequential\n%s\n--- workers=%d\n%s",
-					workers, i, want[i], workers, got[i])
+				t.Errorf("%s window %d diverged from scalar oracle:\n--- oracle\n%s\n--- %s\n%s",
+					mode.name, i, want[i], mode.name, got[i])
 			}
 		}
 	}

@@ -101,9 +101,16 @@ type Options struct {
 	// which is byte-for-byte the classic single-goroutine runtime; values
 	// above the instance count are clamped to it.
 	Workers int
-	// BatchSize is the number of frames per fan-out batch in sharded mode
+	// BatchSize is the number of frames per processing batch: the fan-out
+	// granularity in sharded mode, the view-batch size in sequential mode
 	// (0 means DefaultBatchSize).
 	BatchSize int
+	// Scalar forces the classic per-tuple execution everywhere: the
+	// sequential switch path runs frame-at-a-time (no view batching) and the
+	// stream engines use the per-tuple interpreter instead of the columnar
+	// batched executor. The two modes produce bit-identical WindowReports;
+	// Scalar exists as the differential-testing oracle and an escape hatch.
+	Scalar bool
 }
 
 // DefaultBatchSize is the fan-out batch granularity: large enough to
@@ -156,7 +163,12 @@ type Runtime struct {
 	batchPool *sync.Pool
 	fill      *viewBatch // batch currently being filled
 	running   bool       // shard workers live for the current window
-	framesIn  uint64     // frames fanned out this window (merged PacketsIn)
+	framesIn  uint64     // frames ingested this window (merged PacketsIn)
+	// Sequential view batching (nil in scalar or sharded mode): frames are
+	// Prepared into seqViews and flushed through sw.ProcessViews at capacity
+	// and at window close.
+	seqViews []pisa.View
+	seqN     int
 
 	links  []link
 	finest map[uint16]uint8
@@ -278,6 +290,19 @@ func (r *Runtime) buildSequential(infos []instInfo) error {
 		return fmt.Errorf("runtime: installing switch program: %w", err)
 	}
 	r.sw, r.engine, r.em = sw, engine, em
+	if r.opts.Scalar {
+		engine.SetScalar(true)
+	} else {
+		// Batched sequential mode: frames are parsed into a reusable view
+		// buffer and run through the switch instance-major (ProcessViews),
+		// so one instance's tables stay cache-hot across the whole batch.
+		batch := r.opts.BatchSize
+		if batch <= 0 {
+			batch = DefaultBatchSize
+		}
+		r.parser = packet.NewParser(packet.ParserOptions{})
+		r.seqViews = make([]pisa.View, batch)
+	}
 	for _, in := range infos {
 		if err := engine.Install(in.aug, in.key.Level, in.part); err != nil {
 			return fmt.Errorf("runtime: installing q%d level %d: %w", in.key.QID, in.key.Level, err)
@@ -327,6 +352,9 @@ func (r *Runtime) buildSharded(infos []instInfo, workers int) error {
 	}
 	for i := 0; i < workers; i++ {
 		engine := stream.NewEngine(stream.NewDynTables())
+		if r.opts.Scalar {
+			engine.SetScalar(true)
+		}
 		em := emitter.New(engine)
 		sw, err := pisa.NewSwitch(r.cfg, progs[i], em.HandleMirror)
 		if err != nil {
@@ -410,11 +438,16 @@ func (r *Runtime) ShardOf(qid uint16, level uint8) int {
 func (r *Runtime) ProcessWindow(frames [][]byte) *WindowReport {
 	r.markWindowStart()
 	sp := r.lane.Start(tracez.NameSwitchPass)
-	if len(r.shards) > 0 {
+	switch {
+	case len(r.shards) > 0:
 		for _, f := range frames {
 			r.processSharded(f)
 		}
-	} else {
+	case r.seqViews != nil:
+		for _, f := range frames {
+			r.processSequential(f)
+		}
+	default:
 		for _, f := range frames {
 			r.sw.Process(f)
 		}
@@ -424,16 +457,45 @@ func (r *Runtime) ProcessWindow(frames [][]byte) *WindowReport {
 	return r.closeWindow()
 }
 
-// Process pushes a single frame (streaming use; pair with CloseWindow). A
-// sharded runtime aliases the frame in parsed views fanned out to workers,
-// so the caller must not modify it until the window closes.
+// Process pushes a single frame (streaming use; pair with CloseWindow).
+// Both the sharded runtime and the batched sequential runtime alias the
+// frame in parsed views that outlive this call, so the caller must not
+// modify it until the window closes. (Only Options.Scalar consumes the
+// frame before returning.)
 func (r *Runtime) Process(frame []byte) {
 	r.markWindowStart()
 	if len(r.shards) > 0 {
 		r.processSharded(frame)
 		return
 	}
+	if r.seqViews != nil {
+		r.processSequential(frame)
+		return
+	}
 	r.sw.Process(frame)
+}
+
+// processSequential parses the frame into the sequential view buffer,
+// flushing a full buffer through the switch instance-major. PacketsIn moves
+// to the runtime here (like the sharded path): ProcessViews does not count
+// it, and the registry's packet counter is the same series either way.
+func (r *Runtime) processSequential(frame []byte) {
+	r.framesIn++
+	r.m.packets.Inc()
+	r.seqViews[r.seqN].Prepare(r.parser, frame)
+	r.seqN++
+	if r.seqN == len(r.seqViews) {
+		r.flushSeq()
+	}
+}
+
+// flushSeq runs the buffered sequential views through the switch. A no-op
+// when the buffer is empty (and always in scalar or sharded mode).
+func (r *Runtime) flushSeq() {
+	if r.seqN > 0 {
+		r.sw.ProcessViews(r.seqViews[:r.seqN])
+		r.seqN = 0
+	}
 }
 
 // processSharded parses the frame once and fans the shared read-only view
@@ -487,9 +549,7 @@ func (s *shard) run(pool *sync.Pool) {
 	defer close(s.done)
 	for b := range s.in {
 		t0 := time.Now()
-		for i := 0; i < b.n; i++ {
-			s.sw.ProcessView(&b.views[i])
-		}
+		s.sw.ProcessViews(b.views[:b.n])
 		s.busy += time.Since(t0)
 		if b.refs.Add(-1) == 0 {
 			pool.Put(b)
@@ -565,10 +625,17 @@ func (r *Runtime) closeWindow() *WindowReport {
 		stats.PacketsIn = r.framesIn
 		r.framesIn = 0
 	} else {
+		r.flushSeq()
 		dumps, st := r.sw.EndWindow()
 		r.em.HandleDumps(dumps)
 		dumpCount = len(dumps)
 		stats = st
+		if r.seqViews != nil {
+			// Batched sequential mode counts frames at the runtime, exactly
+			// like the sharded fan-out (ProcessViews never counts PacketsIn).
+			stats.PacketsIn = r.framesIn
+			r.framesIn = 0
+		}
 	}
 	ed.Attr(tracez.AttrDumpTuples, uint64(dumpCount))
 	ed.End()

@@ -1,0 +1,356 @@
+package stream
+
+// Columnar batched execution (DESIGN.md "batch/bitmap invariants").
+//
+// Tuples entering a pipeline suffix are buffered into a column-major batch
+// (one []tuple.Value per field, recycled across windows) instead of being
+// walked through the op chain one at a time. A flush runs the whole batch
+// through the chain with op dispatch amortized per batch: filters clear bits
+// in a selection bitmap instead of early-returning per tuple, maps evaluate
+// column-at-a-time into preallocated ping-pong output columns, and
+// reduce/distinct probe their keytab arena in a fused bulk loop.
+//
+// The batch flushes whenever per-tuple semantics could otherwise diverge
+// from the scalar interpreter: at capacity, when the next tuple enters at a
+// different op (or with a different width), before an out-of-band mergeAgg,
+// and at window close before and between stateful drains. Because every
+// flush preserves the arrival order of its rows, keytab first-touch
+// (insertion) order — and with it every flush order, count, and report — is
+// bit-identical to the per-tuple interpreter's.
+
+import (
+	"math/bits"
+
+	"repro/internal/keytab"
+	"repro/internal/query"
+	"repro/internal/tuple"
+)
+
+// batchCap bounds the rows buffered between flushes. It matches the
+// runtime's fan-out batch (DefaultBatchSize): big enough to amortize
+// dispatch, small enough to stay in cache.
+const batchCap = 256
+
+// colBatch is the reusable column-major tuple buffer of one pipeExec. Only
+// the first width columns are in use; entry is the op index its rows enter
+// at (all rows of a batch share one entry point by construction).
+type colBatch struct {
+	entry int
+	width int
+	n     int
+	cols  [][]tuple.Value
+}
+
+func (b *colBatch) reset() {
+	for j := range b.cols {
+		b.cols[j] = b.cols[j][:0]
+	}
+	b.n = 0
+}
+
+// bufferTuple appends one tuple (entering at op index at) to the batch,
+// flushing first if the batch holds rows for a different entry point or
+// width, and after if the batch reaches capacity. Values are copied; vals
+// may live in caller scratch.
+func (e *pipeExec) bufferTuple(at int, vals []tuple.Value) {
+	if at >= len(e.ops) {
+		// Fell off the end before any op: identical to the scalar tail.
+		e.outCounts[len(e.ops)]++
+		out := make([]tuple.Value, len(vals))
+		copy(out, vals)
+		e.outputs = append(e.outputs, out)
+		return
+	}
+	b := &e.batch
+	if b.n > 0 && (b.entry != at || b.width != len(vals)) {
+		e.flushBatch()
+	}
+	if b.n == 0 {
+		b.entry, b.width = at, len(vals)
+		for len(b.cols) < len(vals) {
+			b.cols = append(b.cols, nil)
+		}
+	}
+	for j, v := range vals {
+		b.cols[j] = append(b.cols[j], v)
+	}
+	b.n++
+	if b.n >= batchCap {
+		e.flushBatch()
+	}
+}
+
+// bufferReduceRow buffers a drained reduce entry — its key columns plus the
+// aggregate as the trailing column — entering at op index at. It is the
+// batched form of the scalar drain's append(kv..., agg) row build, without
+// the per-row allocation.
+func (e *pipeExec) bufferReduceRow(at int, kv []tuple.Value, agg uint64) {
+	if at >= len(e.ops) {
+		e.outCounts[len(e.ops)]++
+		out := make([]tuple.Value, 0, len(kv)+1)
+		out = append(out, kv...)
+		out = append(out, tuple.U64(agg))
+		e.outputs = append(e.outputs, out)
+		return
+	}
+	w := len(kv) + 1
+	b := &e.batch
+	if b.n > 0 && (b.entry != at || b.width != w) {
+		e.flushBatch()
+	}
+	if b.n == 0 {
+		b.entry, b.width = at, w
+		for len(b.cols) < w {
+			b.cols = append(b.cols, nil)
+		}
+	}
+	for j, v := range kv {
+		b.cols[j] = append(b.cols[j], v)
+	}
+	b.cols[len(kv)] = append(b.cols[len(kv)], tuple.U64(agg))
+	b.n++
+	if b.n >= batchCap {
+		e.flushBatch()
+	}
+}
+
+// flushBatch runs the buffered rows through the op chain column-wise. A
+// no-op on an empty batch (and therefore always in scalar mode, which never
+// buffers).
+func (e *pipeExec) flushBatch() {
+	b := &e.batch
+	n := b.n
+	if n == 0 {
+		return
+	}
+	e.flushes++
+	e.flushRows += uint64(n)
+	cols := b.cols[:b.width]
+	width := b.width
+	e.sel = selAll(e.sel, n)
+	live := n
+	for i := b.entry; i < len(e.ops) && live > 0; i++ {
+		o := &e.ops[i]
+		e.inCounts[i] += uint64(live)
+		switch o.Kind {
+		case query.OpFilter:
+			if o.DynFilterTable != "" {
+				live = e.dynFilterCols(o, cols, live)
+			} else {
+				for ci := range o.Clauses {
+					cl := &o.Clauses[ci]
+					live = filterColumn(e.sel, n, cols[cl.Col], cl)
+					if live == 0 {
+						break
+					}
+				}
+			}
+			e.outCounts[i] += uint64(live)
+		case query.OpMap:
+			// Maps run branch-free over all n rows, deselected ones
+			// included: tuple-phase expressions are total, so stale rows
+			// just compute values nobody reads.
+			out := e.nextMapCols(len(o.Cols), n)
+			for j := range o.Cols {
+				o.Cols[j].Expr.EvalTupleCols(cols, n, out[j])
+			}
+			cols, width = out, len(o.Cols)
+			e.outCounts[i] += uint64(live)
+		case query.OpReduce:
+			e.reduceCols(o, e.states[i], cols, n)
+			b.reset()
+			return
+		case query.OpDistinct:
+			e.distinctCols(o, e.states[i], cols, n)
+			b.reset()
+			return
+		}
+	}
+	if live > 0 {
+		// Surviving rows fell off the end: gather each into an owned copy,
+		// in row (arrival) order, exactly as the scalar tail does.
+		e.outCounts[len(e.ops)] += uint64(live)
+		rows := selRows(e.sel, n, e.bulkRows)
+		e.bulkRows = rows
+		for _, r := range rows {
+			out := make([]tuple.Value, width)
+			for j := 0; j < width; j++ {
+				out[j] = cols[j][r]
+			}
+			e.outputs = append(e.outputs, out)
+		}
+	}
+	b.reset()
+}
+
+// nextMapCols returns a column set (width w, n rows each) for a map op's
+// output, alternating between two buffers so a map never writes the columns
+// it is reading (its input is either the batch itself or the other buffer).
+func (e *pipeExec) nextMapCols(w, n int) [][]tuple.Value {
+	e.mapPing ^= 1
+	buf := e.mapColBufs[e.mapPing]
+	for len(buf) < w {
+		buf = append(buf, nil)
+	}
+	for j := 0; j < w; j++ {
+		if cap(buf[j]) < n {
+			buf[j] = make([]tuple.Value, n)
+		}
+		buf[j] = buf[j][:n]
+	}
+	e.mapColBufs[e.mapPing] = buf
+	return buf[:w]
+}
+
+// dynFilterCols applies a dynamic-refinement filter to the batch: the
+// masked lookup keys of all selected rows are built into the bulk scratch
+// and tested in one ContainsKeyBatch call, which loads the table snapshot
+// once for the whole batch. Returns the surviving row count.
+func (e *pipeExec) dynFilterCols(o *query.Op, cols [][]tuple.Value, live int) int {
+	rows := selRows(e.sel, e.batch.n, e.bulkRows)
+	keys := e.bulkKeys[:0]
+	ends := e.bulkEnds[:0]
+	for _, r := range rows {
+		for _, c := range o.DynKeyCols {
+			keys = tuple.AppendKeyValue(keys, query.MaskValue(o.DynKeyField, cols[c][r], o.DynLevel))
+		}
+		ends = append(ends, uint32(len(keys)))
+	}
+	e.bulkKeys, e.bulkEnds, e.bulkRows = keys, ends, rows
+	return e.dyn.ContainsKeyBatch(o.DynFilterTable, keys, ends, rows, e.sel, live)
+}
+
+// reduceCols folds the batch's selected rows into a reduce op's keytab in a
+// fused bulk loop: grouping keys are encoded back-to-back (AppendKeyCols),
+// resolved in one LookupBulk pass, then hits fold and misses insert in row
+// order. Insertion order equals first-touch row order and the aggregation
+// functions are commutative and associative, so the resulting state is
+// bit-identical to per-tuple GetOrInsert.
+func (e *pipeExec) reduceCols(o *query.Op, st *keytab.Table, cols [][]tuple.Value, n int) {
+	rows := selRows(e.sel, n, e.bulkRows)
+	keys := e.bulkKeys[:0]
+	ends := e.bulkEnds[:0]
+	for _, r := range rows {
+		keys = tuple.AppendKeyCols(keys, cols, o.KeyCols, int(r))
+		ends = append(ends, uint32(len(keys)))
+	}
+	e.bulkKeys, e.bulkEnds, e.bulkRows = keys, ends, rows
+	if cap(e.bulkIdxs) < len(ends) {
+		e.bulkIdxs = make([]int32, len(ends))
+	}
+	idxs := e.bulkIdxs[:len(ends)]
+	st.LookupBulk(keys, ends, idxs)
+	valCol := cols[o.ValCol]
+	start := uint32(0)
+	for i, end := range ends {
+		v := valCol[rows[i]].U
+		if idx := int(idxs[i]); idx >= 0 {
+			st.SetAgg(idx, o.Func.Apply(st.Agg(idx), v))
+		} else {
+			// Absent at lookup time — either genuinely new or first seen
+			// earlier in this same batch; GetOrInsertCols re-probes and
+			// handles both.
+			idx, existed := st.GetOrInsertCols(keys[start:end], cols, o.KeyCols, int(rows[i]), v)
+			if existed {
+				st.SetAgg(idx, o.Func.Apply(st.Agg(idx), v))
+			}
+		}
+		start = end
+	}
+}
+
+// distinctCols inserts the batch's selected rows into a distinct op's
+// keytab; like the scalar path, hits are ignored.
+func (e *pipeExec) distinctCols(o *query.Op, st *keytab.Table, cols [][]tuple.Value, n int) {
+	rows := selRows(e.sel, n, e.bulkRows)
+	keys := e.bulkKeys[:0]
+	ends := e.bulkEnds[:0]
+	for _, r := range rows {
+		keys = tuple.AppendKeyCols(keys, cols, o.KeyCols, int(r))
+		ends = append(ends, uint32(len(keys)))
+	}
+	e.bulkKeys, e.bulkEnds, e.bulkRows = keys, ends, rows
+	if cap(e.bulkIdxs) < len(ends) {
+		e.bulkIdxs = make([]int32, len(ends))
+	}
+	idxs := e.bulkIdxs[:len(ends)]
+	st.LookupBulk(keys, ends, idxs)
+	start := uint32(0)
+	for i, end := range ends {
+		if idxs[i] < 0 {
+			st.GetOrInsertCols(keys[start:end], cols, o.KeyCols, int(rows[i]), 1)
+		}
+		start = end
+	}
+}
+
+// filterColumn tests one filter clause against a column, clearing the
+// selection bit of every failing row, and returns the surviving count. Only
+// rows still selected are tested (bitmap iteration skips cleared words).
+func filterColumn(sel []uint64, n int, col []tuple.Value, cl *query.Clause) int {
+	live := 0
+	nw := (n + 63) >> 6
+	for w := 0; w < nw; w++ {
+		m := sel[w]
+		for b := m; b != 0; b &= b - 1 {
+			r := w<<6 | bits.TrailingZeros64(b)
+			if cl.MatchValue(col[r]) {
+				live++
+			} else {
+				m &^= 1 << uint(r&63)
+			}
+		}
+		sel[w] = m
+	}
+	return live
+}
+
+// selAll returns sel resized for n rows with every bit [0, n) set.
+func selAll(sel []uint64, n int) []uint64 {
+	nw := (n + 63) >> 6
+	if cap(sel) < nw {
+		sel = make([]uint64, nw)
+	}
+	sel = sel[:nw]
+	for w := range sel {
+		sel[w] = ^uint64(0)
+	}
+	if r := n & 63; r != 0 {
+		sel[nw-1] = (uint64(1) << uint(r)) - 1
+	}
+	return sel
+}
+
+// selRows collects the selected row indices in ascending order into the
+// (reused) rows scratch.
+func selRows(sel []uint64, n int, rows []int32) []int32 {
+	rows = rows[:0]
+	nw := (n + 63) >> 6
+	for w := 0; w < nw; w++ {
+		for b := sel[w]; b != 0; b &= b - 1 {
+			rows = append(rows, int32(w<<6|bits.TrailingZeros64(b)))
+		}
+	}
+	return rows
+}
+
+// ContainsKeyBatch tests a batch of encoded keys against table, clearing
+// the selection bit of each row whose key is absent. keys holds the
+// concatenated encodings, ends[i] the end offset of key i, rows[i] the
+// selection row key i guards. The snapshot pointer is loaded once for the
+// whole batch (ContainsKey loads it per call); like ContainsKey, the lookup
+// itself allocates nothing. Returns the surviving count given live rows
+// were selected on entry.
+func (d *DynTables) ContainsKeyBatch(table string, keys []byte, ends []uint32, rows []int32, sel []uint64, live int) int {
+	set := d.snap.Load().sets[table]
+	start := uint32(0)
+	for i, end := range ends {
+		if _, ok := set[string(keys[start:end])]; !ok {
+			r := rows[i]
+			sel[r>>6] &^= 1 << uint(r&63)
+			live--
+		}
+		start = end
+	}
+	return live
+}

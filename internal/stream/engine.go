@@ -129,6 +129,10 @@ type Engine struct {
 	// into (nil when tracing is off). The runtime assigns each shard engine
 	// its own lane and sets the lane's parent before the window close.
 	tring *tracez.Ring
+	// scalar forces the per-tuple interpreter on every executor; the default
+	// (false) is the columnar batched path. The two are bit-identical — scalar
+	// mode exists as the differential-testing oracle and an escape hatch.
+	scalar bool
 }
 
 // NewEngine returns an engine sharing the given dynamic filter tables with
@@ -193,6 +197,14 @@ func (e *Engine) Install(q *query.Query, level uint8, part Partition) error {
 			rq.prePacket = newPipeExec(pre, part.LeftStart, e.dyn)
 		}
 	}
+	rq.left.scalar = e.scalar
+	if rq.right != nil {
+		rq.right.scalar = e.scalar
+		rq.post.scalar = e.scalar
+	}
+	if rq.prePacket != nil {
+		rq.prePacket.scalar = e.scalar
+	}
 	if _, exists := e.queries[rq.key]; !exists {
 		e.order = append(e.order, rq.key)
 	}
@@ -202,6 +214,25 @@ func (e *Engine) Install(q *query.Query, level uint8, part Partition) error {
 	}
 	e.queries[rq.key] = rq
 	return nil
+}
+
+// SetScalar switches every installed (and future) executor between the
+// columnar batched path (false, the default) and the per-tuple scalar
+// interpreter (true). Safe only between windows: switching with rows
+// buffered would strand them.
+func (e *Engine) SetScalar(v bool) {
+	e.scalar = v
+	for _, key := range e.order {
+		rq := e.queries[key]
+		rq.left.scalar = v
+		if rq.right != nil {
+			rq.right.scalar = v
+			rq.post.scalar = v
+		}
+		if rq.prePacket != nil {
+			rq.prePacket.scalar = v
+		}
+	}
 }
 
 // AttachTracez assigns the span lane EndWindow records op_eval spans into.
@@ -313,12 +344,12 @@ func (e *Engine) IngestTuple(qid uint16, level uint8, side Side, vals []tuple.Va
 	e.count(rq)
 	switch side {
 	case SideLeft:
-		rq.left.ingestTuple(rq.part.LeftStart, vals)
+		rq.left.feedTuple(rq.part.LeftStart, vals)
 	case SideRight:
 		if rq.right == nil {
 			panic(fmt.Sprintf("stream: q%d has no right pipeline", qid))
 		}
-		rq.right.ingestTuple(rq.part.RightStart, vals)
+		rq.right.feedTuple(rq.part.RightStart, vals)
 	}
 }
 
@@ -329,7 +360,7 @@ func (e *Engine) IngestTupleAt(qid uint16, level uint8, side Side, opIdx int, va
 	rq := e.instance(qid, level)
 	e.count(rq)
 	ex := e.execFor(rq, side)
-	ex.ingestTuple(opIdx, vals)
+	ex.feedTuple(opIdx, vals)
 }
 
 func (e *Engine) execFor(rq *runningQuery, side Side) *pipeExec {
@@ -384,10 +415,27 @@ func (e *Engine) EndWindow() ([]Result, Metrics) {
 			e.flushOpCounts(rq)
 		}
 		results = append(results, res)
+		e.harvestBatchStats(rq)
 	}
 	m := e.metrics
 	e.metrics = Metrics{PerQuery: make(map[QueryKey]uint64)}
 	return results, m
+}
+
+// harvestBatchStats folds one instance's executor flush counters into the
+// engine-wide batch telemetry and zeroes them for the next window.
+func (e *Engine) harvestBatchStats(rq *runningQuery) {
+	var flushes, rows uint64
+	for _, ex := range []*pipeExec{rq.left, rq.right, rq.post, rq.prePacket} {
+		if ex == nil {
+			continue
+		}
+		flushes += ex.flushes
+		rows += ex.flushRows
+		ex.flushes, ex.flushRows = 0, 0
+	}
+	e.m.batchFlushes.Add(flushes)
+	e.m.batchRows.Add(rows)
 }
 
 // flushOpCounts copies each executor's per-op window counters into the
@@ -449,7 +497,7 @@ func (e *Engine) endJoin(rq *runningQuery, res *Result) {
 			if _, ok := rightBy[item.key]; !ok {
 				continue
 			}
-			rq.post.ingestTuple(resume, item.vals)
+			rq.post.feedTuple(resume, item.vals)
 		}
 		rq.pending = nil
 		rq.prePacket.endWindow() // reset any state; outputs unused
@@ -482,7 +530,7 @@ func (e *Engine) endJoin(rq *runningQuery, res *Result) {
 		for _, i := range nonKeyR {
 			joined = append(joined, ro[i])
 		}
-		rq.post.ingestTuple(0, joined)
+		rq.post.feedTuple(0, joined)
 	}
 	res.Tuples = rq.post.endWindow()
 }

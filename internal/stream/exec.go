@@ -125,6 +125,39 @@ type pipeExec struct {
 	// upstream flushes, so counts must be captured during the drain, not
 	// before it.
 	lastKeys []uint64
+
+	// scalar selects the per-tuple interpreter over the batched executor —
+	// the differential oracle mode. In scalar mode the batch is never
+	// populated, so every flush is a no-op.
+	scalar bool
+	// batch buffers tuples entering the tuple-phase op chain until a flush
+	// point (capacity, entry/width change, out-of-band merge, window close);
+	// flushBatch in batch.go runs the columnar walk. All batch scratch below
+	// is recycled across flushes and windows.
+	batch colBatch
+	// sel is the flush's selection bitmap: bit r live means row r has passed
+	// every filter so far.
+	sel []uint64
+	// mapColBufs are the ping-pong column sets map ops evaluate into; a map
+	// writes the buffer its input does not occupy, so chained maps never
+	// alias. mapPing is the buffer the *previous* map wrote.
+	mapColBufs [2][][]tuple.Value
+	mapPing    int
+	// mapOut[i] is op i's output-row scratch for the per-tuple walk (scalar
+	// mode and the packet-phase map landing). Distinct ops get distinct
+	// buffers so a downstream map can read its input while writing its own.
+	mapOut [][]tuple.Value
+	// bulkKeys/bulkEnds/bulkRows/bulkIdxs back the fused bulk probe: keys
+	// holds the batch's concatenated grouping keys, ends their end offsets,
+	// rows the selection row each key came from, idxs the LookupBulk results.
+	bulkKeys []byte
+	bulkEnds []uint32
+	bulkRows []int32
+	bulkIdxs []int32
+	// flushes/flushRows count flushBatch invocations and the rows they
+	// carried; the engine harvests them into telemetry at window close.
+	flushes   uint64
+	flushRows uint64
 }
 
 func newPipeExec(ops []query.Op, start int, dyn *DynTables) *pipeExec {
@@ -172,7 +205,7 @@ func (e *pipeExec) ingestPacket(at int, pkt *packet.Packet) {
 			}
 			e.outCounts[i]++
 		case query.OpMap:
-			vals := make([]tuple.Value, len(o.Cols))
+			vals := e.mapScratch(i, len(o.Cols))
 			for j := range o.Cols {
 				v, ok := o.Cols[j].Expr.EvalPacket(pkt)
 				if !ok {
@@ -181,7 +214,10 @@ func (e *pipeExec) ingestPacket(at int, pkt *packet.Packet) {
 				vals[j] = v
 			}
 			e.outCounts[i]++
-			e.ingestTuple(i+1, vals)
+			// The packet cannot be buffered (it lives in caller scratch), so
+			// the landing map evaluates per packet; the tuple it produces is
+			// copied into the batch (or walked scalar) from here.
+			e.feedTuple(i+1, vals)
 			return
 		default:
 			panic(fmt.Sprintf("stream: stateful op %v in packet phase", o.Kind))
@@ -230,7 +266,11 @@ func (e *pipeExec) ingestTuple(at int, vals []tuple.Value) {
 			}
 			e.outCounts[i]++
 		case query.OpMap:
-			out := make([]tuple.Value, len(o.Cols))
+			// Per-op scratch instead of a per-tuple make: op i's buffer is
+			// never the input of op i itself (walks visit each op once, with
+			// strictly increasing indices), so reading vals while writing out
+			// is alias-free, and everything downstream copies what it keeps.
+			out := e.mapScratch(i, len(o.Cols))
 			for j := range o.Cols {
 				out[j] = o.Cols[j].Expr.EvalTuple(vals)
 			}
@@ -261,6 +301,9 @@ func (e *pipeExec) ingestTuple(at int, vals []tuple.Value) {
 // the stateful op at index at, using the op's own aggregation function so
 // switch-side and overflow-side contributions combine correctly.
 func (e *pipeExec) mergeAgg(at int, keyVals []tuple.Value, agg uint64) {
+	// Folding out of band: flush buffered tuples first so the op's keytab
+	// sees them in arrival order (first-touch order is the flush order).
+	e.flushBatch()
 	e.inCounts[at]++
 	o := &e.ops[at]
 	if !o.Stateful() {
@@ -279,6 +322,9 @@ func (e *pipeExec) mergeAgg(at int, keyVals []tuple.Value, agg uint64) {
 // insertion (first-touch) order — deterministic, unlike the Go map's
 // randomized iteration — and state is reset in place for the next window.
 func (e *pipeExec) endWindow() [][]tuple.Value {
+	// In-window traffic still sitting in the batch must reach the stateful
+	// ops before any of them drains.
+	e.flushBatch()
 	if e.lastKeys == nil {
 		e.lastKeys = make([]uint64, len(e.ops))
 	}
@@ -292,6 +338,24 @@ func (e *pipeExec) endWindow() [][]tuple.Value {
 		e.lastKeys[i] = uint64(st.Len())
 		o := &e.ops[i]
 		n := st.Len()
+		if !e.scalar {
+			// Batched drain: buffer each flushed key row (entry i+1) and let
+			// flushBatch walk the suffix columnar. The KeyVals slices alias
+			// keytab storage, but bufferTuple copies the values immediately,
+			// and the explicit flush below lands everything in the downstream
+			// states before st resets.
+			for k := 0; k < n; k++ {
+				e.outCounts[i]++
+				if o.Kind == query.OpReduce {
+					e.bufferReduceRow(i+1, st.KeyVals(k), st.Agg(k))
+				} else {
+					e.bufferTuple(i+1, st.KeyVals(k))
+				}
+			}
+			e.flushBatch()
+			st.Reset()
+			continue
+		}
 		for k := 0; k < n; k++ {
 			kv := st.KeyVals(k)
 			var out []tuple.Value
@@ -311,6 +375,29 @@ func (e *pipeExec) endWindow() [][]tuple.Value {
 	outs := e.outputs
 	e.outputs = nil
 	return outs
+}
+
+// feedTuple is the mode dispatch for tuples entering the op chain at index
+// at: the per-tuple interpreter in scalar (oracle) mode, the column batch
+// otherwise.
+func (e *pipeExec) feedTuple(at int, vals []tuple.Value) {
+	if e.scalar {
+		e.ingestTuple(at, vals)
+		return
+	}
+	e.bufferTuple(at, vals)
+}
+
+// mapScratch returns op i's map-output buffer, sized to n values. Buffers
+// are per op index so no walk ever reads and writes the same one.
+func (e *pipeExec) mapScratch(i, n int) []tuple.Value {
+	if e.mapOut == nil {
+		e.mapOut = make([][]tuple.Value, len(e.ops))
+	}
+	if cap(e.mapOut[i]) < n {
+		e.mapOut[i] = make([]tuple.Value, n)
+	}
+	return e.mapOut[i][:n]
 }
 
 // resetCounts zeroes the per-op counters (profiling and flight-recorder

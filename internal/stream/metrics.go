@@ -14,6 +14,8 @@ type engineMetrics struct {
 	tuplesIn     *telemetry.Counter
 	resultTuples *telemetry.Counter
 	evalNS       *telemetry.Histogram
+	batchFlushes *telemetry.Counter
+	batchRows    *telemetry.Counter
 }
 
 // queryMetrics is the per-(query, level) instance slice of the registry.
@@ -36,6 +38,10 @@ func (e *Engine) Instrument(reg *telemetry.Registry) {
 		evalNS: reg.Histogram("sonata_stream_eval_ns",
 			"Per-instance window-close evaluation time in nanoseconds.",
 			telemetry.DurationBuckets),
+		batchFlushes: reg.Counter("sonata_stream_batch_flushes_total",
+			"Column-batch flushes run by the batched executor."),
+		batchRows: reg.Counter("sonata_stream_batch_rows_total",
+			"Tuples processed through column-batch flushes (rows per flush = ratio to flushes)."),
 	}
 	for _, key := range e.order {
 		e.instrumentQuery(e.queries[key])

@@ -30,6 +30,13 @@ type PipelineProfile struct {
 
 // Profiler replays training windows through a pipeline to measure workload
 // costs. A zero Profiler is not usable; construct with NewProfiler.
+//
+// The profiler runs the same batched executor as the live engine: packets
+// walk the packet-phase prefix one at a time (raw frames have no columnar
+// form), and the tuples the landing map produces buffer into the column
+// batch. EndWindow flushes the batch before draining state, so OutAfter and
+// Keys — the planner's N_{q,t} inputs — are exactly what the per-tuple
+// interpreter would have counted.
 type Profiler struct {
 	ops  []query.Op
 	exec *pipeExec
@@ -55,8 +62,9 @@ func (p *Profiler) Feed(pkt *packet.Packet) {
 	p.exec.inputCount++
 }
 
-// EndWindow closes the window and returns the profile. Counters and state
-// reset for the next window.
+// EndWindow closes the window and returns the profile: any tuples still
+// buffered in the column batch flush through the op chain first, then state
+// drains. Counters and state reset for the next window.
 func (p *Profiler) EndWindow() PipelineProfile {
 	prof := PipelineProfile{
 		Input:    p.exec.inputCount,

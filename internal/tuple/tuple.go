@@ -179,10 +179,50 @@ func AppendKey(dst []byte, vals []Value, idx []int) []byte {
 }
 
 func appendKey(b []byte, vals []Value, idx []int) []byte {
+	if k, ok := appendKeyU64(b, vals, idx); ok {
+		return k
+	}
 	for _, i := range idx {
 		b = AppendKeyValue(b, vals[i])
 	}
 	return b
+}
+
+// appendKeyU64 writes an all-numeric key (tag 'u' + 8 big-endian bytes per
+// column, byte-identical to AppendKeyValue) straight into b's spare
+// capacity. It reports false — leaving b untouched — when a column is a
+// string or the scratch would need to grow; numeric keys over a warm
+// scratch are the per-packet steady state, so the generic append path runs
+// only on growth and string keys.
+func appendKeyU64(b []byte, vals []Value, idx []int) ([]byte, bool) {
+	n := len(idx) * 9
+	if cap(b)-len(b) < n {
+		return b, false
+	}
+	out := b[len(b) : len(b)+n]
+	j := 0
+	for _, i := range idx {
+		v := &vals[i]
+		if v.Str {
+			return b, false
+		}
+		out[j] = 'u'
+		binary.BigEndian.PutUint64(out[j+1:j+9], v.U)
+		j += 9
+	}
+	return b[:len(b)+n], true
+}
+
+// AppendKeyCols appends the key encoding of row r's selected columns from a
+// column-major value layout — the batch-executor form of AppendKey. The
+// encoding is byte-identical to AppendKey over the equivalent row-major
+// tuple, which is what lets the batched and per-tuple engines share keytab
+// state.
+func AppendKeyCols(dst []byte, cols [][]Value, idx []int, r int) []byte {
+	for _, i := range idx {
+		dst = AppendKeyValue(dst, cols[i][r])
+	}
+	return dst
 }
 
 // AppendKeyValue appends the key encoding of a single value to dst. It is

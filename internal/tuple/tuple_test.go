@@ -289,3 +289,33 @@ func TestIPString(t *testing.T) {
 		t.Errorf("IPString = %q", got)
 	}
 }
+
+func TestAppendKeyColsMatchesAppendKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(20) + 1
+		w := rng.Intn(4) + 1
+		cols := make([][]Value, w)
+		for j := range cols {
+			for r := 0; r < n; r++ {
+				if rng.Intn(2) == 0 {
+					cols[j] = append(cols[j], U64(rng.Uint64()))
+				} else {
+					cols[j] = append(cols[j], Str(string(rune('a'+rng.Intn(26)))))
+				}
+			}
+		}
+		idx := rng.Perm(w)[:rng.Intn(w)+1]
+		for r := 0; r < n; r++ {
+			row := make([]Value, w)
+			for j := range row {
+				row[j] = cols[j][r]
+			}
+			want := AppendKey(nil, row, idx)
+			got := AppendKeyCols(nil, cols, idx, r)
+			if string(got) != string(want) {
+				t.Fatalf("trial %d row %d: cols key %x != row key %x", trial, r, got, want)
+			}
+		}
+	}
+}
