@@ -69,8 +69,25 @@ bench-alloc:
 		-bench 'BenchmarkSwitchProcess$$|BenchmarkEmitterRoundTrip$$|BenchmarkKeytabSteadyState$$' .
 
 # Quick perf regression probe: the four hot-path benchmarks, sequential vs
-# sharded, at a fixed iteration count. Non-gating in `make check` (perf noise
-# must not fail CI); run it by hand and compare against BENCH_pr2.json.
+# sharded, at a fixed iteration count, swept at -cpu 1 (pure sharding
+# overhead: one worker, no parallelism) and -cpu 4 (the parallel win when the
+# runner has the cores). The trailing awk pass distills the headline into a
+# named metric per cpu count — `sharded_vs_sequential_sp_tuples_ratio` — so
+# the uploaded CI artifact carries the ratio without anyone re-deriving it
+# from raw benchmark lines. Non-gating in `make check` (perf noise must not
+# fail CI); run it by hand and compare against BENCH_pr10.json.
 bench-smoke:
-	$(GO) test -run xxx -benchtime 10x -cpu 4 \
-		-bench 'BenchmarkEndToEndWindow|BenchmarkFig7bMultiQuery|BenchmarkEmitterRoundTrip|BenchmarkSwitchProcess' .
+	@rm -f bench-smoke.raw
+	@for n in 1 4; do \
+		$(GO) test -run xxx -benchtime 10x -cpu $$n \
+			-bench 'BenchmarkEndToEndWindow|BenchmarkFig7bMultiQuery|BenchmarkEmitterRoundTrip|BenchmarkSwitchProcess' . \
+			| tee -a bench-smoke.raw || exit 1; \
+	done
+	@awk '/^BenchmarkEndToEndWindow\/(sequential|sharded)/ { \
+		cpu = $$1; sub(/^[^ ]*-/, "", cpu); if (cpu !~ /^[0-9]+$$/) cpu = 1; \
+		v = 0; for (i = 1; i <= NF; i++) if ($$i == "sp_tuples/s") v = $$(i-1); \
+		if ($$1 ~ /sequential/) seq[cpu] = v; else sh[cpu] = v } \
+		END { for (c in sh) if (seq[c] > 0) \
+			printf "sharded_vs_sequential_sp_tuples_ratio cpu=%s %.3f\n", c, sh[c] / seq[c] }' \
+		bench-smoke.raw
+	@rm -f bench-smoke.raw

@@ -74,6 +74,7 @@ func main() {
 	nWindows := flag.Int("windows", 6, "synthetic windows")
 	verbose := flag.Bool("v", false, "print every result tuple")
 	workers := flag.Int("workers", goruntime.GOMAXPROCS(0), "window-pipeline worker shards (1 = sequential)")
+	batch := flag.Int("batch", 0, "frames per pipeline batch (0 = default; the sharded fan-out unit)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof/, and /debug/queries on this address (with -top: the address to poll)")
 	tracePath := flag.String("trace", "", "append per-window lifecycle spans as JSONL to this file (\"-\" for stderr)")
 	frCap := flag.Int("flightrec", flightrec.DefaultCapacity, "flight-recorder ring capacity (windows retained)")
@@ -217,7 +218,7 @@ func main() {
 	plannerOpts := planner.DefaultOptions()
 	plannerOpts.Mode = mode
 	s := core.New(core.Config{Planner: plannerOpts, Window: *window, Switch: pisa.DefaultConfig(),
-		Workers: *workers})
+		Workers: *workers, BatchSize: *batch})
 	for _, q := range qs {
 		q.ID = 0 // renumber in registration order
 		s.Register(q)
@@ -267,6 +268,7 @@ func main() {
 		}
 	}
 	fmt.Printf("cumulative collision rate: %.4f%%\n", rt.CollisionRate()*100)
+	rt.Close()
 }
 
 // readPcapWindows opens, reads, and slices a pcap file into per-window

@@ -38,6 +38,10 @@ type Config struct {
 	// 0 or 1 deploys the sequential pipeline. Reports are identical either
 	// way; only wall time changes.
 	Workers int
+	// BatchSize is the frame-batch granularity of the deployed pipeline —
+	// the fan-out unit in sharded mode, the view-buffer size in sequential
+	// mode. 0 means runtime.DefaultBatchSize.
+	BatchSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -125,5 +129,6 @@ func (s *Sonata) Deploy() (*runtime.Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runtime.NewWithOptions(plan, s.cfg.Switch, runtime.Options{Workers: s.cfg.Workers})
+	return runtime.NewWithOptions(plan, s.cfg.Switch,
+		runtime.Options{Workers: s.cfg.Workers, BatchSize: s.cfg.BatchSize})
 }

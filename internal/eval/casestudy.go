@@ -71,10 +71,12 @@ func CaseStudy(scale Scale) (*CaseStudyResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt, err := runtime.NewWithOptions(plan, pisa.DefaultConfig(), runtime.Options{Workers: DefaultWorkers})
+	rt, err := runtime.NewWithOptions(plan, pisa.DefaultConfig(),
+		runtime.Options{Workers: DefaultWorkers, BatchSize: DefaultBatchSize})
 	if err != nil {
 		return nil, err
 	}
+	defer rt.Close()
 	if DefaultTelemetry != nil || DefaultTracez != nil {
 		rt.Instrument(DefaultTelemetry, DefaultTracez)
 	}

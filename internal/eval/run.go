@@ -23,6 +23,12 @@ var DefaultTelemetry *telemetry.Registry
 // pipeline. cmd/eval wires its -workers flag here.
 var DefaultWorkers int
 
+// DefaultBatchSize, when positive, sets the frame-batch granularity for
+// every experiment built with NewExperiment (the sharded fan-out unit and
+// the sequential view-buffer size). Zero keeps runtime.DefaultBatchSize.
+// cmd/eval wires its -batch flag here.
+var DefaultBatchSize int
+
 // DefaultResultSink, when non-nil, receives every deployed runtime's
 // window reports (cmd/eval's -subscribe-addr wires a subscription server
 // here so collectors can watch an evaluation live).
@@ -111,6 +117,9 @@ type Experiment struct {
 	// runs the sequential pipeline). Results are identical either way; only
 	// wall time changes.
 	Workers int
+	// BatchSize is the frame-batch granularity (0 means
+	// runtime.DefaultBatchSize). Results are batch-size independent.
+	BatchSize int
 	// FlightRec, when set, is attached to every runtime the experiment
 	// deploys (the recorder resets per deployment, so it tracks the live one).
 	FlightRec *flightrec.Recorder
@@ -128,6 +137,7 @@ type Experiment struct {
 func NewExperiment(w *Workload, qs []*query.Query) *Experiment {
 	return &Experiment{W: w, Queries: qs, Levels: []int{8, 16, 24},
 		Telemetry: DefaultTelemetry, Workers: DefaultWorkers,
+		BatchSize: DefaultBatchSize,
 		FlightRec: DefaultFlightRec, Sink: DefaultResultSink,
 		Tracez: DefaultTracez}
 }
@@ -157,10 +167,12 @@ func (e *Experiment) Run(cfg pisa.Config, mode planner.Mode) (*RunResult, error)
 	if err != nil {
 		return nil, err
 	}
-	rt, err := runtime.NewWithOptions(plan, cfg, runtime.Options{Workers: e.Workers})
+	rt, err := runtime.NewWithOptions(plan, cfg,
+		runtime.Options{Workers: e.Workers, BatchSize: e.BatchSize})
 	if err != nil {
 		return nil, err
 	}
+	defer rt.Close()
 	if e.Telemetry != nil || e.Tracez != nil {
 		rt.Instrument(e.Telemetry, e.Tracez)
 	}

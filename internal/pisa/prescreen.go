@@ -1,0 +1,98 @@
+package pisa
+
+import "repro/internal/query"
+
+// Prescreen owns the program-wide set of distinct static leading-filter
+// clauses ("atoms") that gate instance entry. A switch built with
+// NewSwitchShared interns its instances' leading clauses here instead of in
+// a private table, so several switches — the runtime's worker shards —
+// share one atom space. The dispatch side then evaluates every atom exactly
+// once per view batch (Eval) and ships the bitmaps with the batch; each
+// shard only ANDs the masks its own instances reference. Without sharing,
+// every shard re-evaluates every atom over every frame, multiplying the
+// prescreen cost by the worker count.
+//
+// A Prescreen is built single-threaded (switch construction) and read-only
+// afterwards; Eval writes only into the caller-owned PrescreenMasks.
+type Prescreen struct {
+	atoms  []query.Clause
+	atomOf map[query.Clause]int
+	active bool
+}
+
+// NewPrescreen returns an empty shared atom space.
+func NewPrescreen() *Prescreen {
+	return &Prescreen{atomOf: make(map[query.Clause]int)}
+}
+
+// intern returns the atom index for cl, adding it if unseen. Instances
+// installed at several refinement levels share their entry filters, so the
+// program-wide dedup is what buys the win.
+func (ps *Prescreen) intern(cl query.Clause) int {
+	idx, ok := ps.atomOf[cl]
+	if !ok {
+		idx = len(ps.atoms)
+		ps.atomOf[cl] = idx
+		ps.atoms = append(ps.atoms, cl)
+	}
+	return idx
+}
+
+// Active reports whether any registered switch has a screenable instance
+// prefix — i.e. whether Eval would do useful work for a batch.
+func (ps *Prescreen) Active() bool { return ps != nil && ps.active }
+
+// PrescreenMasks is the per-batch bitmap set a dispatch side computes once
+// and ships read-only to every shard: the runnable bitmap plus one
+// selection bitmap per atom. Storage is reused across batches and grows
+// monotonically, so a pooled batch carrying its masks allocates nothing in
+// steady state.
+type PrescreenMasks struct {
+	words    int
+	runnable []uint64
+	atoms    [][]uint64
+}
+
+// Eval fills m with the runnable bitmap and one bitmap per atom over vs:
+// bit i of an atom's mask is set when view i is runnable and matches the
+// clause. After Eval the masks are read-only until the next Eval, so any
+// number of shards may consult them concurrently.
+func (ps *Prescreen) Eval(vs []View, m *PrescreenMasks) {
+	words := (len(vs) + 63) >> 6
+	m.words = words
+	if cap(m.runnable) < words {
+		m.runnable = make([]uint64, words)
+	}
+	if len(m.atoms) < len(ps.atoms) {
+		grown := make([][]uint64, len(ps.atoms))
+		copy(grown, m.atoms)
+		m.atoms = grown
+	}
+	run := m.runnable[:words]
+	for w := range run {
+		run[w] = 0
+	}
+	for i := range vs {
+		if vs[i].Runnable {
+			run[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	m.runnable = run
+	for a := range ps.atoms {
+		cl := &ps.atoms[a]
+		if cap(m.atoms[a]) < words {
+			m.atoms[a] = make([]uint64, words)
+		}
+		mask := m.atoms[a][:words]
+		for w := range mask {
+			mask[w] = 0
+		}
+		for i := range vs {
+			v := &vs[i]
+			if v.Runnable && cl.MatchPacket(&v.Pkt) {
+				mask[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		m.atoms[a] = mask
+	}
+}

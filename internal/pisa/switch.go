@@ -190,22 +190,23 @@ type Switch struct {
 	// tableUpdates counts dynamic filter entry updates (the refinement
 	// overhead micro-benchmark).
 	tableUpdates uint64
-	// Leading-filter prescreen. atoms are the distinct static packet-phase
-	// filter clauses that gate instance entry across the whole program;
-	// ProcessViews evaluates each once per batch into its bitmap in
-	// atomMasks, and every instance ANDs its atoms' masks (into screenComb)
-	// to select the frames that enter its pipeline. A frame thus pays each
-	// distinct predicate once per batch instead of once per instance that
-	// shares it.
+	// Leading-filter prescreen. pre holds the distinct static packet-phase
+	// filter clauses ("atoms") that gate instance entry — program-wide, and
+	// possibly shared with other switches (worker shards) via
+	// NewSwitchShared. ProcessViews evaluates each atom once per batch into
+	// its bitmap (in ownMasks), and every instance ANDs its atoms' masks
+	// (into screenComb) to select the frames that enter its pipeline. A
+	// frame thus pays each distinct predicate once per batch instead of once
+	// per instance that shares it; with ProcessViewsPre the dispatch side
+	// pays it once per batch instead of once per shard.
 	// Dynamic filters in the leading run are screened per instance: one
 	// rule-set snapshot per batch, probed only for frames still selected.
-	// screenActive reports whether any instance has a screenable prefix;
-	// runnableMask seeds the combined mask when an instance's prefix has
-	// dynamic filters but no static clauses.
-	atoms        []query.Clause
-	atomMasks    [][]uint64
+	// screenActive reports whether any of this switch's instances has a
+	// screenable prefix; the masks' runnable bitmap seeds the combined mask
+	// when an instance's prefix has dynamic filters but no static clauses.
+	pre          *Prescreen
+	ownMasks     PrescreenMasks
 	screenComb   []uint64
-	runnableMask []uint64
 	screenActive bool
 	// m holds pre-registered telemetry handles; the zero value is the
 	// uninstrumented (free) mode.
@@ -216,6 +217,16 @@ type Switch struct {
 // per-packet reports; it must not retain Vals or Packet beyond the call
 // unless it copies them.
 func NewSwitch(cfg Config, prog *Program, mirror func(Mirror)) (*Switch, error) {
+	return NewSwitchShared(cfg, prog, mirror, nil)
+}
+
+// NewSwitchShared is NewSwitch with an externally owned prescreen atom
+// space. Worker shards built over slices of one program pass the same
+// Prescreen so their leading-filter clauses dedup program-wide; the
+// dispatch side then evaluates the atoms once per batch (Prescreen.Eval)
+// and each shard consumes the bitmaps via ProcessViewsPre. A nil ps gives
+// the switch a private atom space (identical to NewSwitch).
+func NewSwitchShared(cfg Config, prog *Program, mirror func(Mirror), ps *Prescreen) (*Switch, error) {
 	if err := prog.Validate(cfg); err != nil {
 		return nil, err
 	}
@@ -244,11 +255,15 @@ func NewSwitch(cfg Config, prog *Program, mirror func(Mirror)) (*Switch, error) 
 	}
 	// Collect the prescreen: each instance's leading run of packet-phase
 	// filter tables (no map has run yet, so all are packet-phase). Static
-	// clauses become shared atoms, deduplicated program-wide — instances
-	// installed at several refinement levels share their entry filters, so
-	// the dedup is what buys the win. Dynamic filter tables in the run are
-	// recorded per instance for the snapshot-per-batch screen.
-	atomOf := map[query.Clause]int{}
+	// clauses become shared atoms, deduplicated across every switch sharing
+	// the prescreen — instances installed at several refinement levels (or
+	// partitioned across shards) share their entry filters, so the dedup is
+	// what buys the win. Dynamic filter tables in the run are recorded per
+	// instance for the snapshot-per-batch screen.
+	if ps == nil {
+		ps = NewPrescreen()
+	}
+	sw.pre = ps
 	for _, st := range sw.insts {
 		spec := st.spec
 		t := 0
@@ -258,13 +273,7 @@ func NewSwitch(cfg Config, prog *Program, mirror func(Mirror)) (*Switch, error) 
 			case compile.TableFilter:
 				o := &spec.Ops[spec.Tables[t].OpIdx]
 				for _, cl := range o.Clauses {
-					idx, ok := atomOf[cl]
-					if !ok {
-						idx = len(sw.atoms)
-						atomOf[cl] = idx
-						sw.atoms = append(sw.atoms, cl)
-					}
-					st.screenAtoms = append(st.screenAtoms, idx)
+					st.screenAtoms = append(st.screenAtoms, ps.intern(cl))
 				}
 			case compile.TableDynFilter:
 				st.screenDyn = append(st.screenDyn, t)
@@ -276,9 +285,9 @@ func NewSwitch(cfg Config, prog *Program, mirror func(Mirror)) (*Switch, error) 
 		st.screenTables = t
 		if t > 0 {
 			sw.screenActive = true
+			ps.active = true
 		}
 	}
-	sw.atomMasks = make([][]uint64, len(sw.atoms))
 	return sw, nil
 }
 
@@ -424,24 +433,50 @@ func (sw *Switch) ProcessView(v *View) int {
 // probe attached take the unscreened walk so per-stage funnel counts keep
 // their exact per-packet semantics.
 func (sw *Switch) ProcessViews(vs []View) int {
+	if sw.screenActive && len(vs) > 0 {
+		sw.pre.Eval(vs, &sw.ownMasks)
+		return sw.processViewsScreened(vs, &sw.ownMasks)
+	}
+	return sw.processViewsScreened(vs, nil)
+}
+
+// ProcessViewsPre is ProcessViews with the prescreen bitmaps already
+// computed by the dispatch side (Prescreen.Eval over the same batch, using
+// the shared atom space this switch was built with via NewSwitchShared).
+// The masks are consulted read-only, so any number of shards can consume
+// the same PrescreenMasks concurrently; each shard only ANDs the masks its
+// own instances reference instead of re-evaluating every clause over every
+// frame. A nil m falls back to evaluating locally.
+func (sw *Switch) ProcessViewsPre(vs []View, m *PrescreenMasks) int {
+	if m == nil {
+		return sw.ProcessViews(vs)
+	}
+	return sw.processViewsScreened(vs, m)
+}
+
+func (sw *Switch) processViewsScreened(vs []View, m *PrescreenMasks) int {
 	reports := 0
-	screened := sw.screenActive && len(vs) > 0
+	screened := sw.screenActive && len(vs) > 0 && m != nil
 	if screened {
-		sw.evalScreen(vs)
+		words := (len(vs) + 63) >> 6
+		if cap(sw.screenComb) < words {
+			sw.screenComb = make([]uint64, words)
+		}
+		sw.screenComb = sw.screenComb[:words]
 	}
 	for _, st := range sw.insts {
 		if screened && st.screenTables > 0 && st.fr == nil {
 			comb := sw.screenComb
 			if len(st.screenAtoms) > 0 {
-				copy(comb, sw.atomMasks[st.screenAtoms[0]])
+				copy(comb, m.atoms[st.screenAtoms[0]])
 				for _, a := range st.screenAtoms[1:] {
-					m := sw.atomMasks[a]
+					am := m.atoms[a]
 					for w := range comb {
-						comb[w] &= m[w]
+						comb[w] &= am[w]
 					}
 				}
 			} else {
-				copy(comb, sw.runnableMask)
+				copy(comb, m.runnable)
 			}
 			idle := false
 			for _, t := range st.screenDyn {
@@ -476,45 +511,6 @@ func (sw *Switch) ProcessViews(vs []View) int {
 		}
 	}
 	return reports
-}
-
-// evalScreen fills the batch's runnable bitmap and one bitmap per prescreen
-// atom: bit i is set when view i is runnable (and matches the clause). Mask
-// storage is reused across batches and grows monotonically.
-func (sw *Switch) evalScreen(vs []View) {
-	words := (len(vs) + 63) >> 6
-	if cap(sw.screenComb) < words {
-		sw.screenComb = make([]uint64, words)
-		sw.runnableMask = make([]uint64, words)
-		for a := range sw.atomMasks {
-			sw.atomMasks[a] = make([]uint64, words)
-		}
-	}
-	sw.screenComb = sw.screenComb[:words]
-	run := sw.runnableMask[:words]
-	for w := range run {
-		run[w] = 0
-	}
-	for i := range vs {
-		if vs[i].Runnable {
-			run[i>>6] |= 1 << uint(i&63)
-		}
-	}
-	sw.runnableMask = run
-	for a := range sw.atoms {
-		cl := &sw.atoms[a]
-		mask := sw.atomMasks[a][:words]
-		for w := range mask {
-			mask[w] = 0
-		}
-		for i := range vs {
-			v := &vs[i]
-			if v.Runnable && cl.MatchPacket(&v.Pkt) {
-				mask[i>>6] |= 1 << uint(i&63)
-			}
-		}
-		sw.atomMasks[a] = mask
-	}
 }
 
 // applyDynScreen narrows comb to the frames whose masked key is in table

@@ -1,0 +1,170 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/pisa"
+	"repro/internal/planner"
+	"repro/internal/queries"
+	"repro/internal/runtime"
+)
+
+// lifecyclePlan builds a small multi-query plan shared by the persistent-
+// worker lifecycle tests below. They run under the race detector via the
+// `race` target in make check, so every path they take — zero-frame closes,
+// mid-window Close, degraded inline processing — is exercised against the
+// worker goroutines' ring and barrier synchronization.
+func lifecyclePlan(t *testing.T) (*eval.Workload, *planner.Plan, pisa.Config) {
+	t.Helper()
+	scale := eval.SmallScale()
+	w, err := eval.NewWorkload(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := queries.TopEight(eval.ScaledParams(scale))
+	tr, err := planner.Train(qs, []int{8, 16, 24}, w.TrainingFrames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pisa.DefaultConfig()
+	plan, err := planner.PlanQueries(tr, qs, cfg, planner.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, plan, cfg
+}
+
+func newLifecycleRuntime(t *testing.T, plan *planner.Plan, cfg pisa.Config, workers int) *runtime.Runtime {
+	t.Helper()
+	rt, err := runtime.NewWithOptions(plan, cfg, runtime.Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestShardedZeroFrameWindows closes windows that saw no frames — before any
+// traffic, between two real windows, and several in a row — and requires the
+// sharded runtime's reports to match the batched sequential runtime's for the
+// same schedule. A zero-frame close still runs the full barrier (every worker
+// executes EndWindow on its shard), so under -race this doubles as a check
+// that an empty epoch leaves no shard state behind.
+func TestShardedZeroFrameWindows(t *testing.T) {
+	w, plan, cfg := lifecyclePlan(t)
+
+	run := func(workers int) []string {
+		rt := newLifecycleRuntime(t, plan, cfg, workers)
+		defer rt.Close()
+		var snaps []string
+		snap := func() { snaps = append(snaps, snapshotReport(rt.CloseWindow())) }
+		snap() // zero-frame window before any traffic
+		for _, f := range w.Frames(0) {
+			rt.Process(f)
+		}
+		snap() // real window
+		snap() // zero-frame window between real windows
+		snap()
+		snap() // consecutive zero-frame windows
+		for _, f := range w.Frames(1) {
+			rt.Process(f)
+		}
+		snap() // real window after the empty run
+		return snaps
+	}
+
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d window %d diverged:\n--- sequential\n%s\n--- sharded\n%s",
+					workers, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestShardedCloseMidWindow stops the persistent workers halfway through a
+// window. The contract: frames already pushed are fully processed before the
+// workers exit, the rest of the window runs inline on the caller, and the
+// window's report is bit-identical to one from a runtime that was never
+// closed. Close must also be safe to repeat and after-close windows must
+// keep producing correct (degraded, single-threaded) reports.
+func TestShardedCloseMidWindow(t *testing.T) {
+	w, plan, cfg := lifecyclePlan(t)
+
+	baseline := func() []string {
+		rt := newLifecycleRuntime(t, plan, cfg, 4)
+		defer rt.Close()
+		var snaps []string
+		for i := 0; i < 2; i++ {
+			for _, f := range w.Frames(i) {
+				rt.Process(f)
+			}
+			snaps = append(snaps, snapshotReport(rt.CloseWindow()))
+		}
+		return snaps
+	}()
+
+	rt := newLifecycleRuntime(t, plan, cfg, 4)
+	frames := w.Frames(0)
+	for _, f := range frames[:len(frames)/2] {
+		rt.Process(f)
+	}
+	rt.Close() // mid-window: workers drain their rings and exit
+	rt.Close() // repeat must be a no-op
+	for _, f := range frames[len(frames)/2:] {
+		rt.Process(f)
+	}
+	if got := snapshotReport(rt.CloseWindow()); got != baseline[0] {
+		t.Errorf("window spanning Close diverged:\n--- never closed\n%s\n--- closed mid-window\n%s",
+			baseline[0], got)
+	}
+	// The runtime stays usable after Close: subsequent windows run inline.
+	for _, f := range w.Frames(1) {
+		rt.Process(f)
+	}
+	if got := snapshotReport(rt.CloseWindow()); got != baseline[1] {
+		t.Errorf("window after Close diverged:\n--- never closed\n%s\n--- degraded\n%s",
+			baseline[1], got)
+	}
+	rt.Close()
+}
+
+// TestShardedBackToBackCloseWindow hammers the close barrier: many
+// CloseWindow calls with no Process in between, racing each epoch's
+// close/merge against the previous one's worker-side reset, then a real
+// window to prove the pipeline state survived.
+func TestShardedBackToBackCloseWindow(t *testing.T) {
+	w, plan, cfg := lifecyclePlan(t)
+
+	run := func(workers int) []string {
+		rt := newLifecycleRuntime(t, plan, cfg, workers)
+		defer rt.Close()
+		var snaps []string
+		for _, f := range w.Frames(0) {
+			rt.Process(f)
+		}
+		snaps = append(snaps, snapshotReport(rt.CloseWindow()))
+		for i := 0; i < 16; i++ {
+			snaps = append(snaps, snapshotReport(rt.CloseWindow()))
+		}
+		for _, f := range w.Frames(1) {
+			rt.Process(f)
+		}
+		snaps = append(snaps, snapshotReport(rt.CloseWindow()))
+		return snaps
+	}
+
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d snapshot %d diverged:\n--- sequential\n%s\n--- sharded\n%s",
+					workers, i, want[i], got[i])
+			}
+		}
+	}
+}

@@ -120,27 +120,56 @@ const DefaultBatchSize = 256
 
 // shard owns one slice of the deployment: the switch instances assigned to
 // it (with their registers and dynamic tables), a private emitter, and the
-// matching stream-engine instances. During a window only the shard's worker
-// goroutine touches this state, so the hot path takes no locks; the
-// runtime's window close joins the workers before reading any of it.
+// matching stream-engine instances. Its worker goroutine is spawned once at
+// construction and lives until Runtime.Close: during a window (and during
+// the window close it executes on the runtime's behalf) only the worker
+// touches this state, so the hot path takes no locks; the runtime's close
+// barrier hands ownership back to the main goroutine between windows.
 type shard struct {
 	sw     *pisa.Switch
 	engine *stream.Engine
 	em     *emitter.Emitter
-	in     chan *viewBatch
-	done   chan struct{}
-	// busy accumulates time spent processing batches this window; only the
-	// shard's own goroutine writes it, and the runtime reads it after the
-	// window-end join.
+	// q is the shard's inbound SPSC ring: view batches during the window,
+	// then a close (or stop) message acting as the epoch barrier — FIFO
+	// order guarantees every batch of the window is processed before the
+	// close runs.
+	q spscRing
+	// lane is the shard's tracez lane (lane index+1), cached at Instrument;
+	// nil when tracing is off. The main goroutine re-parents it before each
+	// close barrier, the worker records op spans into it during the close.
+	lane *tracez.Ring
+	// busy accumulates time spent processing batches (and closing the
+	// window) this window; only the worker writes it while running, and the
+	// close barrier publishes it to the runtime via cr.
 	busy time.Duration
+	// cr is the shard's close-phase output, written by the worker before it
+	// signals the barrier and read by the main goroutine after.
+	cr closeResult
+}
+
+// closeResult carries one shard's window-close products across the epoch
+// barrier: everything the serial close loop used to read inline.
+type closeResult struct {
+	busy      time.Duration
+	stats     pisa.WindowStats
+	dumpCount int
+	results   []stream.Result
+	metrics   stream.Metrics
+	emFrames  uint64
+	emBad     uint64
 }
 
 // viewBatch is a refcounted batch of frames parsed once and shared
 // read-only by every shard; the last shard to finish a batch recycles it.
+// When the runtime's shared prescreen is active, dispatch evaluates the
+// static leading-filter atoms once into masks and every shard consumes the
+// bitmaps read-only (masked reports whether masks are valid for this trip).
 type viewBatch struct {
-	views []pisa.View
-	n     int
-	refs  atomic.Int32
+	views  []pisa.View
+	n      int
+	masks  pisa.PrescreenMasks
+	masked bool
+	refs   atomic.Int32
 }
 
 // Runtime binds a plan to executable components.
@@ -162,8 +191,16 @@ type Runtime struct {
 	parser    *packet.Parser
 	batchPool *sync.Pool
 	fill      *viewBatch // batch currently being filled
-	running   bool       // shard workers live for the current window
 	framesIn  uint64     // frames ingested this window (merged PacketsIn)
+	// pre is the shard switches' shared prescreen atom space; dispatch
+	// evaluates it once per batch so shards only AND precomputed bitmaps.
+	pre *pisa.Prescreen
+	// closeWG is the epoch barrier for window closes, stopWG for worker
+	// shutdown; closed flips once Close has joined the workers, after which
+	// the runtime degrades to inline (single-goroutine) shard execution.
+	closeWG sync.WaitGroup
+	stopWG  sync.WaitGroup
+	closed  bool
 	// Sequential view batching (nil in scalar or sharded mode): frames are
 	// Prepared into seqViews and flushed through sw.ProcessViews at capacity
 	// and at window close.
@@ -193,6 +230,7 @@ type Runtime struct {
 	m           runtimeMetrics
 	windowStart time.Time
 	lastKeys    map[int]string
+	fpScratch   []byte
 	// Tracing: tz collects every window's span tree (nil when disabled).
 	// lane is the orchestration lane (lane 0) carrying the window root and
 	// lifecycle-stage spans; shard engines write op spans into lanes 1..N.
@@ -209,6 +247,14 @@ type link struct {
 	to     uint8
 	keyCol int
 	field  fields.ID // the refinement key
+	// table is the target level's dyn-table name, precomputed so the close
+	// path doesn't Sprintf it every window. keys and the side-key sets are
+	// the per-window refinement-candidate scratch, reused across windows
+	// (Replace/UpdateDynTable copy what they keep).
+	keys []string
+	rset map[string]struct{}
+	lset map[string]struct{}
+	tabl string
 }
 
 // instInfo is one planned (query, level) instance in installation order.
@@ -260,7 +306,8 @@ func NewWithOptions(plan *planner.Plan, cfg pisa.Config, opts Options) (*Runtime
 				}
 				r.links = append(r.links, link{qid: qp.Query.ID,
 					from: uint8(lp.Level), to: uint8(next.Level),
-					keyCol: keyCol, field: qp.Key.Field})
+					keyCol: keyCol, field: qp.Key.Field,
+					tabl: planner.DynTableName(qp.Query.ID, next.Level)})
 			}
 		}
 	}
@@ -350,13 +397,14 @@ func (r *Runtime) buildSharded(infos []instInfo, workers int) error {
 		}
 		progs[si].Instances = append(progs[si].Instances, spec)
 	}
+	r.pre = pisa.NewPrescreen()
 	for i := 0; i < workers; i++ {
 		engine := stream.NewEngine(stream.NewDynTables())
 		if r.opts.Scalar {
 			engine.SetScalar(true)
 		}
 		em := emitter.New(engine)
-		sw, err := pisa.NewSwitch(r.cfg, progs[i], em.HandleMirror)
+		sw, err := pisa.NewSwitchShared(r.cfg, progs[i], em.HandleMirror, r.pre)
 		if err != nil {
 			return fmt.Errorf("runtime: installing shard %d program: %w", i, err)
 		}
@@ -376,6 +424,13 @@ func (r *Runtime) buildSharded(infos []instInfo, workers int) error {
 	r.batchPool = &sync.Pool{New: func() any {
 		return &viewBatch{views: make([]pisa.View, batch)}
 	}}
+	// Persistent workers: spawned once here, joined only by Close. Windows
+	// are delimited by close messages through the rings (the epoch barrier),
+	// not by goroutine teardown.
+	for _, s := range r.shards {
+		s.q.init(shardQueueDepth)
+		go s.run(r)
+	}
 	return nil
 }
 
@@ -499,12 +554,8 @@ func (r *Runtime) flushSeq() {
 }
 
 // processSharded parses the frame once and fans the shared read-only view
-// out to every shard. Workers start lazily at the first frame of a window
-// and are joined by closeWindow.
+// out to every shard's persistent worker.
 func (r *Runtime) processSharded(frame []byte) {
-	if !r.running {
-		r.startWorkers()
-	}
 	r.framesIn++
 	r.m.packets.Inc()
 	b := r.fill
@@ -523,54 +574,105 @@ func (r *Runtime) processSharded(frame []byte) {
 // dispatch hands the filling batch to every shard. The batch is read-only
 // from here on; the last shard to finish it returns it to the pool.
 func (r *Runtime) dispatch() {
-	b := r.fill
-	if b == nil || b.n == 0 {
+	b := r.takeFill()
+	if b == nil {
 		return
 	}
+	if r.closed {
+		r.processInline(b)
+		return
+	}
+	r.fanOut(b, msgBatch)
+}
+
+// takeFill detaches the filling batch, recycling an empty one.
+func (r *Runtime) takeFill() *viewBatch {
+	b := r.fill
 	r.fill = nil
-	b.refs.Store(int32(len(r.shards)))
+	if b != nil && b.n == 0 {
+		r.batchPool.Put(b)
+		b = nil
+	}
+	return b
+}
+
+// fanOut ships a message (optionally carrying a batch) to every shard's
+// ring. When the shared prescreen is active, the batch's static
+// leading-filter bitmaps are computed once here — on the dispatch side —
+// so every shard only ANDs the masks its own instances reference.
+func (r *Runtime) fanOut(b *viewBatch, kind uint8) {
+	if b != nil {
+		if r.pre.Active() {
+			r.pre.Eval(b.views[:b.n], &b.masks)
+			b.masked = true
+		}
+		b.refs.Store(int32(len(r.shards)))
+	}
 	for _, s := range r.shards {
-		s.in <- b
+		s.q.push(shardMsg{batch: b, kind: kind})
 	}
 }
 
-func (r *Runtime) startWorkers() {
+// processInline runs a batch through every shard on the calling goroutine —
+// the degraded single-threaded mode a Runtime falls back to after Close.
+func (r *Runtime) processInline(b *viewBatch) {
 	for _, s := range r.shards {
-		s.in = make(chan *viewBatch, 4)
-		s.done = make(chan struct{})
-		go s.run(r.batchPool)
-	}
-	r.running = true
-}
-
-// run is a shard's worker loop: drain batches, run the owned instances
-// over each view. Closing the in channel is the window-end barrier.
-func (s *shard) run(pool *sync.Pool) {
-	defer close(s.done)
-	for b := range s.in {
 		t0 := time.Now()
 		s.sw.ProcessViews(b.views[:b.n])
 		s.busy += time.Since(t0)
-		if b.refs.Add(-1) == 0 {
-			pool.Put(b)
+	}
+	b.masked = false
+	r.batchPool.Put(b)
+}
+
+// run is a shard's persistent worker loop: drain batches, run the owned
+// instances over each view; on a close message, additionally close the
+// window on this shard's state and signal the epoch barrier. Ring FIFO
+// order is what makes the close a barrier: every batch pushed before the
+// close message is processed before the close runs.
+func (s *shard) run(r *Runtime) {
+	for {
+		m := s.q.pop()
+		if b := m.batch; b != nil {
+			t0 := time.Now()
+			if b.masked {
+				s.sw.ProcessViewsPre(b.views[:b.n], &b.masks)
+			} else {
+				s.sw.ProcessViews(b.views[:b.n])
+			}
+			s.busy += time.Since(t0)
+			if b.refs.Add(-1) == 0 {
+				b.masked = false
+				r.batchPool.Put(b)
+			}
+		}
+		switch m.kind {
+		case msgClose:
+			t0 := time.Now()
+			s.closeShard()
+			s.cr.busy += time.Since(t0)
+			r.closeWG.Done()
+		case msgStop:
+			r.stopWG.Done()
+			return
 		}
 	}
 }
 
-// joinWorkers flushes the partial batch and waits for every shard to
-// drain; once it returns the main goroutine owns all shard state again.
-func (r *Runtime) joinWorkers() {
-	if !r.running {
-		return
-	}
-	r.dispatch()
-	for _, s := range r.shards {
-		close(s.in)
-	}
-	for _, s := range r.shards {
-		<-s.done
-	}
-	r.running = false
+// closeShard runs the window close on this shard's slice of the pipeline:
+// register dump, dump decode into the shard engine, stream-engine window
+// evaluation, emitter stats — everything the serial close loop used to do
+// inline, now concurrent across shards. The products land in s.cr; busy is
+// published alongside and reset for the next window.
+func (s *shard) closeShard() {
+	cr := &s.cr
+	dumps, st := s.sw.EndWindow()
+	s.em.HandleDumps(dumps)
+	cr.dumpCount = len(dumps)
+	cr.stats = st
+	cr.results, cr.metrics = s.engine.EndWindow()
+	cr.emFrames, cr.emBad = s.em.WindowStats()
+	cr.busy, s.busy = s.busy, 0
 }
 
 // markWindowStart anchors the window-duration measurement and the window
@@ -598,9 +700,29 @@ func (r *Runtime) openRoot() {
 // CloseWindow ends the current window explicitly.
 func (r *Runtime) CloseWindow() *WindowReport { return r.closeWindow() }
 
+// Close stops a sharded runtime's persistent workers and is safe to call
+// at any point, including mid-window and more than once. Frames already
+// handed to the workers are fully processed before they exit (the stop
+// message rides the same FIFO rings as the batches), frames still in the
+// filling batch stay buffered, and the runtime remains usable afterwards:
+// Process and CloseWindow degrade to inline single-goroutine execution
+// over the shard state, so a window spanning a Close still produces the
+// exact report it would have produced without one. Sequential runtimes
+// have no workers; Close is a no-op there.
+func (r *Runtime) Close() {
+	if len(r.shards) == 0 || r.closed {
+		return
+	}
+	r.closed = true
+	r.stopWG.Add(len(r.shards))
+	for _, s := range r.shards {
+		s.q.push(shardMsg{kind: msgStop})
+	}
+	r.stopWG.Wait()
+}
+
 func (r *Runtime) closeWindow() *WindowReport {
 	r.openRoot() // zero-frame windows still get a (short) trace tree
-	ed := r.lane.Start(tracez.NameEmitterDecode)
 	var (
 		results   []stream.Result
 		metrics   stream.Metrics
@@ -611,20 +733,68 @@ func (r *Runtime) closeWindow() *WindowReport {
 	)
 	var shardBusy []time.Duration
 	if len(r.shards) > 0 {
-		r.joinWorkers()
+		// Parallel close: each shard's worker runs register dump, dump
+		// decode, and stream-engine evaluation on the state it owns; the
+		// barrier hands ownership of every shard back to this goroutine.
+		// Both stage spans wrap the whole barrier (the phases overlap across
+		// shards), and each shard lane is re-parented before the close
+		// message so op spans recorded by the workers nest under this
+		// window's stream_eval span — the ring handoff publishes the lane
+		// context to the worker.
+		ed := r.lane.Start(tracez.NameEmitterDecode)
+		se := r.lane.Start(tracez.NameStreamEval)
+		for _, s := range r.shards {
+			s.lane.SetContext(r.window, se.ID())
+		}
+		if r.closed {
+			// Degraded inline mode (after Close): the workers are gone, so
+			// run the tail batch and every shard's close on this goroutine.
+			if b := r.takeFill(); b != nil {
+				r.processInline(b)
+			}
+			for _, s := range r.shards {
+				s.closeShard()
+			}
+		} else {
+			r.closeWG.Add(len(r.shards))
+			r.fanOut(r.takeFill(), msgClose)
+			r.closeWG.Wait()
+		}
+		// Deterministic merge, on this side of the barrier: shard order for
+		// the commutative counters, global installation order for results —
+		// exactly as the sequential engine orders its output.
+		metrics.PerQuery = make(map[stream.QueryKey]uint64)
+		byKey := make(map[stream.QueryKey]stream.Result, len(r.order))
 		shardBusy = make([]time.Duration, len(r.shards))
 		for i, s := range r.shards {
-			shardBusy[i], s.busy = s.busy, 0
-			dumps, st := s.sw.EndWindow()
-			s.em.HandleDumps(dumps)
-			dumpCount += len(dumps)
-			stats.Merge(st)
+			cr := &s.cr
+			shardBusy[i] = cr.busy
+			dumpCount += cr.dumpCount
+			stats.Merge(cr.stats)
+			for j := range cr.results {
+				res := &cr.results[j]
+				byKey[stream.QueryKey{QID: res.QID, Level: res.Level}] = *res
+			}
+			metrics.Merge(cr.metrics)
+			emFrames += cr.emFrames
+			emBad += cr.emBad
 		}
 		// Shards do not count PacketsIn (each saw every frame); the fan-out
 		// side owns the count.
 		stats.PacketsIn = r.framesIn
 		r.framesIn = 0
+		results = make([]stream.Result, 0, len(r.order))
+		for _, k := range r.order {
+			if res, ok := byKey[k]; ok {
+				results = append(results, res)
+			}
+		}
+		ed.Attr(tracez.AttrDumpTuples, uint64(dumpCount))
+		ed.End()
+		se.Attr(tracez.AttrTuplesIn, metrics.TuplesIn)
+		se.End()
 	} else {
+		ed := r.lane.Start(tracez.NameEmitterDecode)
 		r.flushSeq()
 		dumps, st := r.sw.EndWindow()
 		r.em.HandleDumps(dumps)
@@ -636,47 +806,19 @@ func (r *Runtime) closeWindow() *WindowReport {
 			stats.PacketsIn = r.framesIn
 			r.framesIn = 0
 		}
-	}
-	ed.Attr(tracez.AttrDumpTuples, uint64(dumpCount))
-	ed.End()
+		ed.Attr(tracez.AttrDumpTuples, uint64(dumpCount))
+		ed.End()
 
-	se := r.lane.Start(tracez.NameStreamEval)
-	if len(r.shards) > 0 {
-		metrics.PerQuery = make(map[stream.QueryKey]uint64)
-		byKey := make(map[stream.QueryKey]stream.Result, len(r.order))
-		for i := range r.shards {
-			// Op spans recorded during each shard engine's close parent to
-			// this window's stream_eval span.
-			r.tz.Lane(i+1).SetContext(r.window, se.ID())
-		}
-		for _, s := range r.shards {
-			res, m := s.engine.EndWindow()
-			for i := range res {
-				byKey[stream.QueryKey{QID: res[i].QID, Level: res[i].Level}] = res[i]
-			}
-			metrics.Merge(m)
-			f, bad := s.em.WindowStats()
-			emFrames += f
-			emBad += bad
-		}
-		// Deterministic merge: report in global installation order, exactly
-		// as the sequential engine orders its results.
-		results = make([]stream.Result, 0, len(r.order))
-		for _, k := range r.order {
-			if res, ok := byKey[k]; ok {
-				results = append(results, res)
-			}
-		}
-	} else {
+		se := r.lane.Start(tracez.NameStreamEval)
 		// The sequential engine shares the orchestration lane; re-parent it
 		// so its op spans nest under stream_eval rather than the root.
 		r.lane.SetContext(r.window, se.ID())
 		results, metrics = r.engine.EndWindow()
 		r.lane.SetContext(r.window, r.troot.ID())
 		emFrames, emBad = r.em.WindowStats()
+		se.Attr(tracez.AttrTuplesIn, metrics.TuplesIn)
+		se.End()
 	}
-	se.Attr(tracez.AttrTuplesIn, metrics.TuplesIn)
-	se.End()
 	// Register dumps become tuples at the stream processor; count them into
 	// the headline metric like any other delivered tuple.
 	rep := &WindowReport{
@@ -700,10 +842,10 @@ func (r *Runtime) closeWindow() *WindowReport {
 	// Dynamic refinement: level From's results gate level To next window.
 	fu := r.lane.Start(tracez.NameFilterUpdate)
 	start := time.Now()
-	for li, l := range r.links {
+	for li := range r.links {
+		l := &r.links[li]
 		keys := r.refinedKeys(results, l)
-		table := planner.DynTableName(l.qid, int(l.to))
-		r.dynOf(l.qid, l.to).Replace(table, keys)
+		r.dynOf(l.qid, l.to).Replace(l.tabl, keys)
 		sw := r.swOf(l.qid, l.to)
 		for _, side := range []pisa.Side{pisa.SideLeft, pisa.SideRight} {
 			// Op 0 is the dynamic filter by construction of AugmentQuery;
@@ -714,10 +856,8 @@ func (r *Runtime) closeWindow() *WindowReport {
 			}
 		}
 		rep.FilterUpdates += len(keys) // the SP-side table update
-		fp := keyFingerprint(keys)
-		changed := fp != r.lastKeys[li]
+		changed := r.keySetChanged(li, keys)
 		if changed {
-			r.lastKeys[li] = fp
 			r.m.refTransitions.Inc()
 		}
 		// The flight recorder attributes the transition to the gated (finer)
@@ -796,14 +936,16 @@ func (r *Runtime) dynOf(qid uint16, level uint8) *stream.DynTables {
 	return r.engine.Dyn()
 }
 
-// refinedKeys extracts the dyn-table keys from one level's results. For
+// refinedKeys extracts the dyn-table keys from one level's results into the
+// link's reused candidate slice (regenerating it each window used to be a
+// steady per-window allocation; consumers copy what they keep). For
 // join queries the gate is the intersection of the sub-queries' outputs
 // (the paper's Section 4.1: "their output at coarser levels determines
 // which portion of traffic to process for the finer levels") — the final
 // post-join condition (e.g. a payload keyword) must not gate refinement, or
 // the victim would never be zoomed in on.
-func (r *Runtime) refinedKeys(results []stream.Result, l link) []string {
-	var keys []string
+func (r *Runtime) refinedKeys(results []stream.Result, l *link) []string {
+	keys := l.keys[:0]
 	for i := range results {
 		res := &results[i]
 		if res.QID != l.qid || res.Level != l.from {
@@ -817,31 +959,33 @@ func (r *Runtime) refinedKeys(results []stream.Result, l link) []string {
 			}
 			continue
 		}
-		right := sideKeySet(res.RightOutputs, res.RightSchema, l.field, int(l.from))
-		left := sideKeySet(res.LeftOutputs, res.LeftSchema, l.field, int(l.from))
+		l.rset = sideKeySet(l.rset, res.RightOutputs, res.RightSchema, l.field, int(l.from))
+		l.lset = sideKeySet(l.lset, res.LeftOutputs, res.LeftSchema, l.field, int(l.from))
 		switch {
-		case left == nil:
-			for k := range right {
+		case l.lset == nil:
+			for k := range l.rset {
 				keys = append(keys, k)
 			}
-		case right == nil:
-			for k := range left {
+		case l.rset == nil:
+			for k := range l.lset {
 				keys = append(keys, k)
 			}
 		default:
-			for k := range right {
-				if _, ok := left[k]; ok {
+			for k := range l.rset {
+				if _, ok := l.lset[k]; ok {
 					keys = append(keys, k)
 				}
 			}
 		}
 	}
+	l.keys = keys
 	return keys
 }
 
-// sideKeySet collects a sub-pipeline's refinement keys; nil when the side
-// has no outputs/schema (packet-phase left sides).
-func sideKeySet(outs [][]tuple.Value, schema tuple.Schema, f fields.ID, level int) map[string]struct{} {
+// sideKeySet collects a sub-pipeline's refinement keys into the reused set
+// (cleared each call); nil when the side has no outputs/schema
+// (packet-phase left sides).
+func sideKeySet(set map[string]struct{}, outs [][]tuple.Value, schema tuple.Schema, f fields.ID, level int) map[string]struct{} {
 	if outs == nil || schema == nil {
 		return nil
 	}
@@ -849,7 +993,11 @@ func sideKeySet(outs [][]tuple.Value, schema tuple.Schema, f fields.ID, level in
 	if col < 0 {
 		return nil
 	}
-	set := make(map[string]struct{}, len(outs))
+	if set == nil {
+		set = make(map[string]struct{}, len(outs))
+	} else {
+		clear(set)
+	}
 	for _, t := range outs {
 		if col < len(t) {
 			set[stream.DynKeyFromValue(f, t[col], level)] = struct{}{}

@@ -53,7 +53,13 @@ func (r *Runtime) Instrument(reg *telemetry.Registry, tz *tracez.Tracer) {
 		for i, s := range r.shards {
 			s.sw.InstrumentShard(reg, i)
 			s.engine.Instrument(reg)
-			s.engine.AttachTracez(tz.Lane(i + 1))
+			// The shard's lane is cached so the close path can re-parent it
+			// without taking the tracer's lane mutex every window. The lane
+			// outlives every window: the worker writes spans into it during
+			// each close, with the close barrier ordering its writes against
+			// the runtime's SetContext.
+			s.lane = tz.Lane(i + 1)
+			s.engine.AttachTracez(s.lane)
 			s.em.Instrument(reg)
 		}
 	} else {
@@ -110,4 +116,28 @@ func keyFingerprint(keys []string) string {
 	sorted := append([]string(nil), keys...)
 	sort.Strings(sorted)
 	return strings.Join(sorted, "\x00")
+}
+
+// keySetChanged reports whether link li's refinement key set differs from
+// the previous window's, updating the stored fingerprint when it does. It
+// is keyFingerprint without the steady-state allocations: keys are sorted
+// in place (safe — every consumer has already copied what it keeps), the
+// canonical form is built in a reused byte scratch, the comparison against
+// the stored fingerprint allocates nothing, and a string is materialized
+// only on an actual transition.
+func (r *Runtime) keySetChanged(li int, keys []string) bool {
+	sort.Strings(keys)
+	fp := r.fpScratch[:0]
+	for i, k := range keys {
+		if i > 0 {
+			fp = append(fp, 0)
+		}
+		fp = append(fp, k...)
+	}
+	r.fpScratch = fp
+	if string(fp) == r.lastKeys[li] {
+		return false
+	}
+	r.lastKeys[li] = string(fp)
+	return true
 }

@@ -56,9 +56,8 @@ func (e *pipeExec) bufferTuple(at int, vals []tuple.Value) {
 	if at >= len(e.ops) {
 		// Fell off the end before any op: identical to the scalar tail.
 		e.outCounts[len(e.ops)]++
-		out := make([]tuple.Value, len(vals))
-		copy(out, vals)
-		e.outputs = append(e.outputs, out)
+		e.outVals = append(e.outArena(), vals...)
+		e.outOffs = append(e.outOffs, len(e.outVals))
 		return
 	}
 	b := &e.batch
@@ -87,10 +86,9 @@ func (e *pipeExec) bufferTuple(at int, vals []tuple.Value) {
 func (e *pipeExec) bufferReduceRow(at int, kv []tuple.Value, agg uint64) {
 	if at >= len(e.ops) {
 		e.outCounts[len(e.ops)]++
-		out := make([]tuple.Value, 0, len(kv)+1)
-		out = append(out, kv...)
-		out = append(out, tuple.U64(agg))
-		e.outputs = append(e.outputs, out)
+		arena := append(e.outArena(), kv...)
+		e.outVals = append(arena, tuple.U64(agg))
+		e.outOffs = append(e.outOffs, len(e.outVals))
 		return
 	}
 	w := len(kv) + 1
@@ -172,13 +170,14 @@ func (e *pipeExec) flushBatch() {
 		e.outCounts[len(e.ops)] += uint64(live)
 		rows := selRows(e.sel, n, e.bulkRows)
 		e.bulkRows = rows
+		arena := e.outArena()
 		for _, r := range rows {
-			out := make([]tuple.Value, width)
 			for j := 0; j < width; j++ {
-				out[j] = cols[j][r]
+				arena = append(arena, cols[j][r])
 			}
-			e.outputs = append(e.outputs, out)
+			e.outOffs = append(e.outOffs, len(arena))
 		}
+		e.outVals = arena
 	}
 	b.reset()
 }

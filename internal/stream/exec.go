@@ -106,11 +106,19 @@ type pipeExec struct {
 	// op i — the flight recorder's per-stage load signal. Reset together
 	// with outCounts.
 	inCounts []uint64
-	// outputs collects tuples that fell off the end of the pipeline. Each is
-	// an owned copy: inputs may live in caller scratch (the emitter's decode
-	// buffer) and flush-path tuples alias keytab storage, neither of which
-	// survives the window.
-	outputs [][]tuple.Value
+	// The output arena collects tuples that fell off the end of the
+	// pipeline. Each row is an owned copy (inputs may live in caller
+	// scratch, and flush-path tuples alias keytab storage), but instead of
+	// one allocation per row, values append into outVals with outOffs
+	// marking row ends; endWindow materializes the row headers into outRows.
+	// All three recycle at the first output of the *next* window (outSealed
+	// flips at endWindow), so a window's returned rows remain valid until
+	// the next window closes — the retention contract WindowReport documents
+	// for sinks, now load-bearing for the runtime's close path too.
+	outVals   []tuple.Value
+	outOffs   []int
+	outRows   [][]tuple.Value
+	outSealed bool
 	// keyScratch avoids re-allocating key buffers on the hot path.
 	keyScratch []byte
 	// dynKeyScratch/dynValScratch back the dynamic-filter key build; separate
@@ -292,9 +300,20 @@ func (e *pipeExec) ingestTuple(at int, vals []tuple.Value) {
 		}
 	}
 	e.outCounts[len(e.ops)]++
-	out := make([]tuple.Value, len(vals))
-	copy(out, vals)
-	e.outputs = append(e.outputs, out)
+	e.outVals = append(e.outArena(), vals...)
+	e.outOffs = append(e.outOffs, len(e.outVals))
+}
+
+// outArena returns the output value arena ready for one more row's values,
+// recycling the previous window's storage on the first output after a
+// seal. Callers append the row's values and then its end offset.
+func (e *pipeExec) outArena() []tuple.Value {
+	if e.outSealed {
+		e.outVals = e.outVals[:0]
+		e.outOffs = e.outOffs[:0]
+		e.outSealed = false
+	}
+	return e.outVals
 }
 
 // mergeAgg folds a pre-aggregated (key, value) produced by the switch into
@@ -372,9 +391,32 @@ func (e *pipeExec) endWindow() [][]tuple.Value {
 		}
 		st.Reset()
 	}
-	outs := e.outputs
-	e.outputs = nil
-	return outs
+	return e.sealOutputs()
+}
+
+// sealOutputs materializes the window's output rows from the arena and
+// seals it for recycling. Row headers are capacity-clamped so a consumer
+// appending to a row cannot scribble into its neighbor. Returns nil (not
+// an empty slice) for a window with no outputs — callers distinguish a
+// side with no outputs from one with an empty output set.
+func (e *pipeExec) sealOutputs() [][]tuple.Value {
+	if e.outSealed {
+		// Still sealed from the previous window: nothing was output since,
+		// and the stale offsets must not be re-materialized.
+		return nil
+	}
+	e.outSealed = true
+	if len(e.outOffs) == 0 {
+		return nil
+	}
+	rows := e.outRows[:0]
+	start := 0
+	for _, end := range e.outOffs {
+		rows = append(rows, e.outVals[start:end:end])
+		start = end
+	}
+	e.outRows = rows
+	return rows
 }
 
 // feedTuple is the mode dispatch for tuples entering the op chain at index
